@@ -1,0 +1,65 @@
+"""Ablation — run-time accounting and the points system (Sections 6, 8).
+
+Phase I ran on the UD agent (wall-clock accounting, the source of the
+"low estimate" caveat); phase II moves to BOINC (CPU-time accounting);
+Section 8 proposes a points-based VFTP as the middleware-independent
+metric.  This bench runs the same campaign under both accountings and
+compares the three estimators against the true useful throughput.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.boinc.credit import AccountingMode
+from repro.boinc.simulator import scaled_phase1
+
+
+def test_accounting_modes(record_artifact, benchmark):
+    def run_both():
+        out = {}
+        for mode in AccountingMode:
+            sim = scaled_phase1(scale=200, n_proteins=14, accounting=mode)
+            out[mode] = sim.run()
+        return out
+
+    results = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    rows = []
+    for mode, res in results.items():
+        truth = res.vftp_from_useful_work()
+        rows.append([
+            mode.value,
+            f"{res.metrics().vftp / truth:.2f}",
+            f"{res.vftp_from_credit() / truth:.2f}",
+            f"{res.metrics().redundancy:.2f}",
+        ])
+    record_artifact(
+        "ablation_accounting",
+        "VFTP estimators relative to true useful throughput (1.0 = exact;\n"
+        "the redundancy factor is the floor any result-counting estimator\n"
+        "carries):\n"
+        + render_table(
+            ["agent accounting", "runtime-based VFTP / truth",
+             "points-based VFTP / truth", "redundancy"],
+            rows,
+        ),
+    )
+
+    ud = results[AccountingMode.UD_WALL_CLOCK]
+    boinc = results[AccountingMode.BOINC_CPU_TIME]
+    ud_runtime_err = ud.metrics().vftp / ud.vftp_from_useful_work()
+    boinc_runtime_err = boinc.metrics().vftp / boinc.vftp_from_useful_work()
+    boinc_points_err = boinc.vftp_from_credit() / boinc.vftp_from_useful_work()
+
+    # UD wall-clock accounting overstates ~4x (the paper's speed-down);
+    # BOINC CPU accounting roughly halves the bias; points with CPU
+    # accounting land at the redundancy floor.
+    assert ud_runtime_err > 1.5 * boinc_runtime_err
+    assert boinc_points_err < boinc_runtime_err
+    # Points with CPU accounting sit at the *work-weighted* redundancy
+    # floor: above exact (1.0) but at or below the count-based redundancy
+    # factor, because quorum-era duplicates concentrate on the cheap early
+    # batches.
+    assert 1.0 < boinc_points_err < boinc.metrics().redundancy + 0.15

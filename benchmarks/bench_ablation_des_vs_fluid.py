@@ -1,0 +1,64 @@
+"""Ablation — discrete-event simulator vs fluid model.
+
+DESIGN.md's scale policy rests on the fluid model being a faithful
+aggregate of the DES; this bench runs both on the same reduced campaign
+with a matched supply and compares completion, redundancy and the
+three-phase VFTP shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.analysis.report import render_table
+from repro.boinc.simulator import scaled_phase1
+from repro.fluid import FluidCampaign
+
+
+def test_des_vs_fluid(record_artifact, benchmark):
+    sim = scaled_phase1(scale=100, n_proteins=20)
+
+    des = benchmark.pedantic(sim.run, rounds=1, iterations=1)
+
+    fluid = FluidCampaign(
+        sim.campaign,
+        sim.plan.duration_stats()["mean"],
+        share_schedule=sim.share_schedule,
+        population=sim.population,
+        supply_scale=sim.campaign.total_work / C.TOTAL_REFERENCE_CPU_S,
+    )
+    fres = fluid.run()
+
+    des_m = des.metrics()
+    rows = [
+        ["completion (weeks)", f"{des.completion_weeks:.1f}",
+         f"{fres.completion_week:.1f}"],
+        ["redundancy factor", f"{des_m.redundancy:.3f}",
+         f"{fres.overall_redundancy:.3f}"],
+        ["useful fraction", f"{des_m.useful_result_fraction:.3f}",
+         f"{fres.useful_fraction:.3f}"],
+        ["consumed cpu (core-weeks)",
+         f"{des_m.consumed_cpu_s / 604800:.1f}",
+         f"{fres.consumed_cpu_s.sum() / 604800:.1f}"],
+    ]
+    record_artifact(
+        "ablation_des_vs_fluid",
+        render_table(["observable", "DES (scaled)", "fluid (matched)"], rows),
+    )
+
+    # The fluid model is an idealization: no deadline tails, no discrete
+    # hosts — agreement within ~20% on completion, tighter on ratios.
+    assert des.completion_weeks == pytest.approx(fres.completion_week, rel=0.25)
+    assert des_m.redundancy == pytest.approx(fres.overall_redundancy, abs=0.20)
+    assert des_m.useful_result_fraction == pytest.approx(
+        fres.useful_fraction, abs=0.10
+    )
+
+    # Weekly VFTP shape correlation over the common horizon.
+    des_weekly = des.telemetry.weekly_vftp()
+    n = min(len(des_weekly), len(fres.vftp), int(des.completion_weeks))
+    corr = float(np.corrcoef(des_weekly[:n], fres.vftp[:n] * (
+        des_weekly[:n].mean() / max(fres.vftp[:n].mean(), 1e-12)))[0, 1])
+    assert corr > 0.85

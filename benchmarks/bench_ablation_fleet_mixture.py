@@ -1,0 +1,75 @@
+"""Ablation — fleet composition.
+
+Section 6 attributes the speed-down to device behaviour (throttle, owner
+contention, interruptions, slower CPUs).  This bench runs the same
+campaign on different fleet compositions to show how the paper's
+aggregate numbers move with the device mix — the what-if behind "these
+new faster devices can work on more time consuming workunits".
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.report import render_table
+from repro.boinc.simulator import scaled_phase1
+from repro.grid.profiles import (
+    ALWAYS_ON,
+    HOME_EVENING,
+    LAPTOP,
+    OFFICE_DESKTOP,
+    DeviceClass,
+    MixtureHostModel,
+    wcg_fleet_mixture,
+)
+
+FLEETS = {
+    "WCG-like mixture": wcg_fleet_mixture(),
+    "all home desktops": [DeviceClass("home", HOME_EVENING.profile, 1.0)],
+    "all office desktops": [DeviceClass("office", OFFICE_DESKTOP.profile, 1.0)],
+    "all laptops": [DeviceClass("laptop", LAPTOP.profile, 1.0)],
+    "all always-on": [DeviceClass("always-on", ALWAYS_ON.profile, 1.0)],
+}
+
+
+def test_fleet_mixture(record_artifact, benchmark):
+    def run_all():
+        out = {}
+        for label, classes in FLEETS.items():
+            sim = scaled_phase1(scale=250, n_proteins=12)
+            sim.host_model = MixtureHostModel(
+                classes=classes, seed=sim.seed, horizon=sim.horizon_s
+            )
+            out[label] = sim.run()
+        return out
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for label, res in results.items():
+        m = res.metrics()
+        rows.append([
+            label,
+            f"{res.completion_weeks:.1f}" if res.completion_weeks else ">40",
+            f"{m.speed_down_net:.2f}",
+            f"{res.mean_device_run_hours():.1f}",
+        ])
+    record_artifact(
+        "ablation_fleet_mixture",
+        "same campaign, same host count, different device mixes:\n"
+        + render_table(
+            ["fleet", "completion (weeks)", "net speed-down",
+             "mean device run (h)"],
+            rows,
+        ),
+    )
+
+    def weeks(label):
+        w = results[label].completion_weeks
+        return w if w is not None else float("inf")
+
+    # Always-on workstations beat every volunteer mix; laptops trail.
+    assert weeks("all always-on") < weeks("WCG-like mixture")
+    assert weeks("all always-on") < weeks("all laptops")
+    # The WCG-like mixture lands between its extreme constituents.
+    assert weeks("all office desktops") <= weeks("all laptops")

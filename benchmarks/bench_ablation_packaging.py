@@ -1,0 +1,73 @@
+"""Ablation — workunit packaging strategies (Section 4.2's "several
+methods to build workunits").
+
+Compares the paper's floor rule against the three variants on the
+sub-goals the paper names: decreasing the number of small workunits and
+minimizing the number of workunits, at equal total work.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.report import render_table
+from repro.core.packaging import PackagingPolicy, WorkUnitPlan
+from repro.units import hours
+
+STRATEGIES = ("floor", "round", "merge-tail", "even")
+
+
+@pytest.mark.parametrize("strategy", STRATEGIES)
+def test_strategy_build_speed(cost_model, benchmark, strategy):
+    plan = benchmark(
+        WorkUnitPlan, cost_model, PackagingPolicy(10.0, strategy)
+    )
+    assert plan.total_workunits() > 0
+
+
+def test_strategy_comparison(cost_model, record_artifact, benchmark):
+    def build_all():
+        return {
+            s: WorkUnitPlan(cost_model, PackagingPolicy(10.0, s))
+            for s in STRATEGIES
+        }
+
+    plans = benchmark(build_all)
+
+    small_cut = hours(1.0)
+    rows = []
+    for name, plan in plans.items():
+        stats = plan.duration_stats()
+        durations, weights = plan._duration_pairs()
+        small = float(weights[durations < small_cut].sum())
+        rows.append([
+            name,
+            plan.total_workunits(),
+            f"{stats['mean'] / 3600:.2f}",
+            f"{stats['std'] / 3600:.2f}",
+            f"{small:,.0f}",
+        ])
+    record_artifact(
+        "ablation_packaging",
+        render_table(
+            ["strategy", "workunits", "mean (h)", "std (h)", "wu under 1 h"],
+            rows,
+        ),
+    )
+
+    floor = plans["floor"]
+    # All strategies conserve work exactly.
+    totals = {s: p.total_reference_cpu() for s, p in plans.items()}
+    for s in STRATEGIES:
+        assert totals[s] == pytest.approx(totals["floor"], rel=1e-9)
+    # merge-tail attacks the small-workunit sub-goal.
+    def small_count(plan):
+        durations, weights = plan._duration_pairs()
+        return float(weights[durations < small_cut].sum())
+
+    assert small_count(plans["merge-tail"]) < small_count(floor)
+    # round minimizes the workunit count.
+    assert plans["round"].total_workunits() <= floor.total_workunits()
+    # even narrows the distribution at the same count.
+    assert plans["even"].duration_stats()["std"] <= floor.duration_stats()["std"]

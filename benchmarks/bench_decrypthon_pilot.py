@@ -1,0 +1,68 @@
+"""Section 2.1 — the Decrypthon pilot study.
+
+"This project follows a first study on 6 proteins which was performed on
+the dedicated grid of the Decrypthon project.  This study argues that
+preliminary work showed that the docking program required a lot of cpu
+time [...] and will take advantage of desktop grid computing."
+
+This bench reconstructs that pilot: a 6-protein cross-docking campaign on
+a dedicated cluster, and the extrapolation that motivated going to WCG —
+the full 168-protein workload is ~(168/6)^2 larger, out of reach for a
+university grid but a fit for a volunteer one.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants as C
+from repro.analysis.report import render_table
+from repro.core.packaging import PackagingPolicy, WorkUnitPlan
+from repro.dedicated import DedicatedGridSimulation
+from repro.maxdo.cost_model import CostModel
+from repro.proteins.library import ProteinLibrary
+from repro.units import SECONDS_PER_DAY, seconds_to_ydhms
+
+#: A university-department cluster of the Decrypthon era.
+PILOT_PROCESSORS = 64
+
+
+def test_decrypthon_pilot(record_artifact, benchmark):
+    library = ProteinLibrary.synthetic(n_proteins=6, seed=C.DEFAULT_SEED)
+    cost_model = CostModel.calibrated(library)
+    plan = WorkUnitPlan(cost_model, PackagingPolicy(target_hours=10.0))
+
+    def run():
+        grid = DedicatedGridSimulation(n_processors=PILOT_PROCESSORS)
+        return grid.run_workunits(plan, lpt=True)
+
+    result = benchmark(run)
+
+    pilot_cpu = cost_model.total_reference_cpu()
+    scale_up = (C.N_PROTEINS / 6) ** 2
+    full_cpu_estimate = pilot_cpu * scale_up
+
+    record_artifact(
+        "decrypthon_pilot",
+        render_table(["quantity", "value"], [
+            ["pilot proteins", 6],
+            ["pilot CPU time", str(seconds_to_ydhms(pilot_cpu))],
+            ["pilot makespan on 64 procs",
+             f"{result.makespan_s / SECONDS_PER_DAY:.1f} days"],
+            ["cluster utilization", f"{result.utilization:.1%}"],
+            ["scale-up to 168 proteins", f"x{scale_up:.0f}"],
+            ["extrapolated full workload",
+             str(seconds_to_ydhms(full_cpu_estimate))],
+            ["full workload on the pilot cluster",
+             f"{full_cpu_estimate / PILOT_PROCESSORS / SECONDS_PER_DAY / 365:.0f} years"],
+        ]),
+    )
+
+    # The pilot's conclusion: tractable for 6 proteins on a department
+    # cluster (days-to-weeks), hopeless for 168 (decades) -> volunteer grid.
+    assert result.makespan_s < 60 * SECONDS_PER_DAY
+    assert full_cpu_estimate / PILOT_PROCESSORS > 10 * 365 * SECONDS_PER_DAY
+    # The quadratic scale-up is the paper's own extrapolation law.
+    assert full_cpu_estimate == pytest.approx(
+        C.TOTAL_REFERENCE_CPU_S, rel=0.45
+    )

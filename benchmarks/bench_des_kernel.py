@@ -1,0 +1,55 @@
+"""Infrastructure benchmark — discrete-event kernel throughput.
+
+The volunteer campaign schedules hundreds of thousands of events; this
+bench pins the kernel's event throughput and the cancellation overhead so
+regressions in the simulation substrate are caught early.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.grid.des import Simulator
+
+
+def test_event_throughput(benchmark):
+    def run_events():
+        sim = Simulator()
+        count = 0
+
+        def tick():
+            nonlocal count
+            count += 1
+            if count < 50_000:
+                sim.schedule(1.0, tick)
+
+        sim.schedule(0.0, tick)
+        sim.run()
+        return count
+
+    count = benchmark(run_events)
+    assert count == 50_000
+
+
+def test_bulk_schedule_then_run(benchmark):
+    def run():
+        sim = Simulator()
+        sink = []
+        for k in range(20_000):
+            sim.schedule(float(k % 97), sink.append, k)
+        sim.run()
+        return len(sink)
+
+    assert benchmark(run) == 20_000
+
+
+def test_cancellation_overhead(benchmark):
+    def run():
+        sim = Simulator()
+        events = [sim.schedule(1.0, lambda: None) for _ in range(20_000)]
+        for ev in events[::2]:
+            ev.cancel()
+        sim.run()
+        return sim.events_processed
+
+    assert benchmark(run) == 10_000

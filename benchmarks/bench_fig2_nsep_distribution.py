@@ -1,0 +1,44 @@
+"""Figure 2 — distribution of the number of starting positions (NsepMax).
+
+Paper: "most of the proteins have less than 3000 starting positions to
+compute.  One of them has more than 8000."  The sum over couples pins the
+49,481,544 maximum workunit count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.analysis.distributions import histogram, nsep_bins
+from repro.analysis.report import paper_vs_measured, render_histogram
+from repro.proteins.library import ProteinLibrary
+
+
+def test_fig2_nsep_distribution(record_artifact, record_data, benchmark):
+    library = benchmark(ProteinLibrary.phase1)
+
+    edges, counts = histogram(library.nsep.astype(float), nsep_bins())
+    record_data(
+        "fig2_nsep_distribution",
+        {"nsep": library.nsep, "bin_edges": edges, "counts": counts},
+        experiment="Figure 2",
+    )
+    chart = render_histogram(
+        edges, counts, label=lambda lo, hi: f"{lo:>5.0f}-{hi:<5.0f}"
+    )
+    comparison = paper_vs_measured([
+        ("proteins", C.N_PROTEINS, len(library)),
+        ("sum of Nsep", C.SUM_NSEP, int(library.nsep.sum())),
+        ("max workunits", C.TOTAL_MAX_WORKUNITS, library.total_max_workunits),
+        ("proteins below 3000", "most", f"{(library.nsep < 3000).mean():.0%}"),
+        ("max Nsep", "> 8000", int(library.nsep.max())),
+        ("median Nsep", "-", float(np.median(library.nsep))),
+    ])
+    record_artifact("fig2_nsep_distribution", chart + "\n\n" + comparison)
+
+    assert counts.sum() == 168
+    assert (library.nsep < 3000).mean() > 0.75
+    assert library.nsep.max() > 8000
+    assert library.total_max_workunits == C.TOTAL_MAX_WORKUNITS

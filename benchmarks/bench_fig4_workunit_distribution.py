@@ -1,0 +1,69 @@
+"""Figure 4 — workunit distributions for two packagings.
+
+Paper: h = 10 h yields 1,364,476 workunits (4a); h = 4 h yields 3,599,937
+(4b).  "The number of workunits increases when the workunit execution time
+wanted decreases."
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants as C
+from repro.analysis.distributions import hour_bins
+from repro.analysis.report import paper_vs_measured, render_histogram
+from repro.core.packaging import PackagingPolicy, WorkUnitPlan
+from repro.units import SECONDS_PER_HOUR
+
+
+def _chart(plan, max_hours):
+    edges, counts = plan.duration_histogram(hour_bins(max_hours, 1.0))
+    return render_histogram(
+        edges, counts,
+        label=lambda lo, hi: f"{lo / SECONDS_PER_HOUR:>3.0f}-{hi / SECONDS_PER_HOUR:<3.0f} h",
+    )
+
+
+def test_fig4a_h10(cost_model, record_artifact, benchmark):
+    plan = benchmark(WorkUnitPlan, cost_model, PackagingPolicy(target_hours=10.0))
+    total = plan.total_workunits()
+    stats = plan.duration_stats()
+    record_artifact(
+        "fig4a_workunits_h10",
+        _chart(plan, 14) + "\n\n" + paper_vs_measured([
+            ("workunits (h=10)", C.N_WORKUNITS_H10, total),
+            ("mean duration (h)", "<10", stats["mean"] / 3600),
+        ]),
+    )
+    assert total == pytest.approx(C.N_WORKUNITS_H10, rel=0.05)
+
+
+def test_fig4b_h4(cost_model, record_artifact, benchmark):
+    plan = benchmark(WorkUnitPlan, cost_model, PackagingPolicy(target_hours=4.0))
+    total = plan.total_workunits()
+    record_artifact(
+        "fig4b_workunits_h4",
+        _chart(plan, 14) + "\n\n" + paper_vs_measured([
+            ("workunits (h=4)", C.N_WORKUNITS_H4, total),
+            ("ratio vs h=10", C.N_WORKUNITS_H4 / C.N_WORKUNITS_H10,
+             total / WorkUnitPlan(
+                 cost_model, PackagingPolicy(10.0)).total_workunits()),
+        ]),
+    )
+    assert total == pytest.approx(C.N_WORKUNITS_H4, rel=0.05)
+
+
+def test_fig4_monotonicity(cost_model, record_artifact, benchmark):
+    """More workunits at smaller targets, across a sweep of h."""
+
+    def sweep():
+        return [
+            (h, WorkUnitPlan(cost_model, PackagingPolicy(float(h))).total_workunits())
+            for h in (16, 12, 10, 8, 6, 4, 2)
+        ]
+
+    results = benchmark(sweep)
+    rows = [f"h={h:>2} h -> {n:,} workunits" for h, n in results]
+    record_artifact("fig4_sweep", "\n".join(rows))
+    counts = [n for _, n in results]
+    assert counts == sorted(counts)

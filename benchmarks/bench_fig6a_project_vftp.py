@@ -1,0 +1,54 @@
+"""Figure 6a — virtual full-time processors during the HCMD project.
+
+Paper: three phases (control period, project prioritization, full power);
+average 16,450 VFTP over the whole project, 26,248 during the full-power
+phase; WCG overall averaged 54,947 with its count always increasing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.analysis.report import paper_vs_measured, render_histogram
+from repro.analysis.timeseries import segment_phases
+
+
+def test_fig6a_project_vftp(fluid_result, record_artifact, record_data, benchmark):
+    fluid, _ = fluid_result
+    result = benchmark(fluid.run)
+    record_data(
+        "fig6a_project_vftp",
+        {"week": result.weeks, "vftp": result.vftp},
+        experiment="Figure 6a",
+    )
+
+    weekly = result.vftp
+    edges = np.arange(len(weekly) + 1, dtype=float)
+    chart = render_histogram(
+        edges, weekly, label=lambda lo, hi: f"week {lo:>4.0f}"
+    )
+
+    phases = segment_phases(weekly)
+    control = phases["control period"]
+    full = phases["full power working phase"]
+
+    whole_avg = result.metrics().vftp
+    full_avg = result.metrics(first_week=13).vftp
+
+    comparison = paper_vs_measured([
+        ("avg VFTP whole project", C.HCMD_VFTP_WHOLE_PERIOD, whole_avg),
+        ("avg VFTP full power", C.HCMD_VFTP_FULL_POWER, full_avg),
+        ("completion (weeks)", 26, result.completion_week),
+        ("control period span (weeks)", C.CONTROL_PERIOD_WEEKS,
+         control[1] - control[0]),
+        ("full-power span (weeks)", C.FULL_POWER_WEEKS, full[1] - full[0]),
+    ])
+    record_artifact("fig6a_project_vftp", chart + "\n\n" + comparison)
+
+    assert whole_avg == pytest.approx(C.HCMD_VFTP_WHOLE_PERIOD, rel=0.06)
+    assert full_avg == pytest.approx(C.HCMD_VFTP_FULL_POWER, rel=0.06)
+    # The three-phase structure: full power >> control.
+    assert weekly[full[0]:full[1]].mean() > 4 * weekly[control[0]:control[1]].mean()
+    assert result.completion_week == pytest.approx(26.0, abs=2.0)

@@ -1,0 +1,64 @@
+"""Figure 6b — number of results received during the project.
+
+Paper: 5,418,010 results disclosed vs 3,936,010 effective ("only 73% are
+useful results"); redundancy factor 1.37, higher at the beginning while
+results were validated by comparison.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.analysis.report import paper_vs_measured, render_table
+
+
+def test_fig6b_results(fluid_result, record_artifact, record_data, benchmark):
+    fluid, _ = fluid_result
+    result = benchmark(fluid.run)
+    record_data(
+        "fig6b_results",
+        {
+            "week": result.weeks,
+            "results_disclosed": result.results_disclosed,
+            "results_useful": result.results_useful,
+        },
+        experiment="Figure 6b",
+    )
+
+    rows = []
+    for w in range(0, len(result.weeks), 4):
+        rows.append([
+            int(w),
+            f"{result.results_disclosed[w]:,.0f}",
+            f"{result.results_useful[w]:,.0f}",
+            f"{result.results_useful[w] / max(result.results_disclosed[w], 1):.0%}",
+        ])
+    table = render_table(["week", "results received", "useful", "useful %"], rows)
+
+    early = result.results_disclosed[:12].sum() / max(
+        result.results_useful[:12].sum(), 1
+    )
+    late = result.results_disclosed[17:].sum() / max(
+        result.results_useful[17:].sum(), 1
+    )
+    comparison = paper_vs_measured([
+        ("results disclosed", C.RESULTS_DISCLOSED,
+         float(result.results_disclosed.sum())),
+        ("effective results", C.RESULTS_EFFECTIVE,
+         float(result.results_useful.sum())),
+        ("redundancy factor", C.REDUNDANCY_FACTOR, result.overall_redundancy),
+        ("useful fraction", C.USEFUL_RESULT_FRACTION, result.useful_fraction),
+        ("early redundancy (weeks 0-12)", "higher", f"{early:.2f}"),
+        ("late redundancy (weeks 17+)", "lower", f"{late:.2f}"),
+    ])
+    record_artifact("fig6b_results", table + "\n\n" + comparison)
+
+    assert result.results_disclosed.sum() == pytest.approx(
+        C.RESULTS_DISCLOSED, rel=0.05
+    )
+    assert result.results_useful.sum() == pytest.approx(C.RESULTS_EFFECTIVE, rel=0.05)
+    assert result.overall_redundancy == pytest.approx(C.REDUNDANCY_FACTOR, abs=0.06)
+    # "It was higher at the beginning."
+    assert early > late

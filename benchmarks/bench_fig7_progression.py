@@ -1,0 +1,74 @@
+"""Figure 7 — HCMD project progression snapshots.
+
+Paper: four snapshots (2007-03-20, 04-11, 05-02, 06-11); on 05-02 "85% of
+the proteins were docked, but this represents only 47% of the total
+computation" — the time needed per protein is very different.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.analysis.progression import progression_curve
+from repro.analysis.report import paper_vs_measured, render_table
+
+#: Project weeks of the paper's four snapshot dates (project start
+#: 2006-12-19).
+SNAPSHOT_WEEKS = {
+    "2007-03-20": 13.0,
+    "2007-04-11": 16.1,
+    "2007-05-02": 19.1,
+    "2007-06-11": 24.9,
+}
+
+
+def test_fig7_progression(fluid_result, campaign, record_artifact, benchmark):
+    fluid, result = fluid_result
+
+    def snapshots():
+        return {
+            date: fluid.snapshot_at_week(result, week)
+            for date, week in SNAPSHOT_WEEKS.items()
+        }
+
+    snaps = benchmark(snapshots)
+
+    rows = []
+    for date, snap in snaps.items():
+        rows.append([
+            date,
+            f"{snap.protein_fraction_complete:.0%}",
+            f"{snap.work_fraction:.0%}",
+        ])
+    table = render_table(
+        ["snapshot", "proteins fully docked", "computation done"], rows
+    )
+
+    snap_0502 = snaps["2007-05-02"]
+    comparison = paper_vs_measured([
+        ("proteins docked on 05-02", C.PROGRESSION_SNAPSHOT_PROTEIN_FRACTION,
+         snap_0502.protein_fraction_complete),
+        ("work done on 05-02", C.PROGRESSION_SNAPSHOT_WORK_FRACTION,
+         snap_0502.work_fraction),
+    ])
+
+    # Render the 05-02 cumulative curve at protein deciles.
+    x, done, total = progression_curve(campaign, snap_0502)
+    deciles = np.linspace(0, len(x) - 1, 11).astype(int)
+    curve = render_table(
+        ["protein rank", "cumulative % of work", "computed %"],
+        [[int(x[i]), f"{total[i]:.1f}", f"{done[i]:.1f}"] for i in deciles],
+    )
+    record_artifact(
+        "fig7_progression", table + "\n\n" + comparison + "\n\n" + curve
+    )
+
+    assert snap_0502.protein_fraction_complete == pytest.approx(0.85, abs=0.06)
+    assert snap_0502.work_fraction == pytest.approx(0.47, abs=0.06)
+    # Monotone progression across the four snapshots.
+    fractions = [s.work_fraction for s in snaps.values()]
+    assert fractions == sorted(fractions)
+    # Final snapshot: effectively complete.
+    assert snaps["2007-06-11"].work_fraction > 0.9

@@ -1,0 +1,101 @@
+"""Section 7, executed — phase II simulated end to end.
+
+Table 3 is arithmetic; this bench *builds* phase II (a 4,000-protein
+library with the docking points cut 100x, its own calibrated cost matrix)
+and integrates it with the fluid model under the section's two supply
+scenarios:
+
+* 59,730 constant VFTP -> should complete in ~40 weeks;
+* the phase-I average supply (26,341 VFTP) -> ~90 weeks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.analysis.report import paper_vs_measured
+from repro.core.campaign import CampaignPlan
+from repro.core.packaging import PackagingPolicy, WorkUnitPlan
+from repro.fluid import FluidCampaign
+from repro.maxdo.cost_model import CostModel
+from repro.proteins.library import ProteinLibrary
+
+
+@pytest.fixture(scope="module")
+def phase2():
+    """The phase-II workload: 4,000 proteins, points reduced 100x."""
+    library = ProteinLibrary.synthetic(
+        n_proteins=C.PHASE2_N_PROTEINS,
+        sum_nsep=round(
+            C.SUM_NSEP * C.PHASE2_N_PROTEINS / C.N_PROTEINS / C.PHASE2_POINT_REDUCTION
+        ),
+    )
+    cost_model = CostModel.calibrated(library)
+    return library, cost_model
+
+
+def _run_at_constant_vftp(campaign, mean_wu_s, vftp):
+    # Section 7 assumes phase II "behaves like the first step": the same
+    # overall conversion of consumed CPU to useful work (net speed-down
+    # 3.96 x redundancy 1.37 = the 5.43 raw factor).
+    fluid = FluidCampaign(
+        campaign,
+        mean_wu_s,
+        supply=lambda week: np.full_like(np.asarray(week, dtype=float), vftp),
+        redundancy_quorum=C.REDUNDANCY_FACTOR,
+        redundancy_bounds=C.REDUNDANCY_FACTOR,
+    )
+    return fluid.run(max_weeks=160)
+
+
+def test_phase2_workload_ratio(phase2, record_artifact, benchmark):
+    library, cost_model = phase2
+    total = benchmark(cost_model.total_reference_cpu)
+    ratio = total / C.TOTAL_REFERENCE_CPU_S
+    record_artifact(
+        "phase2_workload",
+        paper_vs_measured([
+            ("proteins", C.PHASE2_N_PROTEINS, len(library)),
+            ("workload ratio vs phase I", C.PHASE2_WORK_RATIO, ratio),
+            ("total reference CPU (years)", 1488 * C.PHASE2_WORK_RATIO,
+             total / (365 * 86400)),
+        ]),
+    )
+    assert ratio == pytest.approx(C.PHASE2_WORK_RATIO, rel=0.01)
+
+
+def test_phase2_fluid_scenarios(phase2, record_artifact, benchmark):
+    library, cost_model = phase2
+    campaign = CampaignPlan(library, cost_model)
+    mean_wu = WorkUnitPlan(
+        cost_model, PackagingPolicy(target_hours=3.65)
+    ).duration_stats()["mean"]
+
+    def run_scenarios():
+        fast = _run_at_constant_vftp(campaign, mean_wu, C.PHASE2_VFTP)
+        slow = _run_at_constant_vftp(campaign, mean_wu, C.PHASE1_VFTP)
+        return fast, slow
+
+    fast, slow = benchmark.pedantic(run_scenarios, rounds=1, iterations=1)
+
+    record_artifact(
+        "phase2_simulation",
+        paper_vs_measured([
+            ("weeks at 59,730 VFTP", C.PHASE2_WEEKS, fast.completion_week),
+            ("weeks at phase-I supply", C.PHASE2_WEEKS_AT_PHASE1_RATE,
+             slow.completion_week),
+            ("useful results (M)", "-", fast.results_useful.sum() / 1e6),
+        ]),
+    )
+
+    # Table 3's durations, now *measured* from the simulated campaign.
+    assert fast.completion_week == pytest.approx(C.PHASE2_WEEKS, rel=0.06)
+    assert slow.completion_week == pytest.approx(
+        C.PHASE2_WEEKS_AT_PHASE1_RATE, rel=0.06
+    )
+    # Progression shape carries over: most proteins done well before most
+    # of the work.
+    snap = campaign.snapshot(0.47 * campaign.total_work)
+    assert snap.protein_fraction_complete > 0.75

@@ -1,0 +1,55 @@
+"""Section 4.1 — total-work estimation and the Grid'5000 calibration run.
+
+Paper: formula (1) gives 1,488 years 237 days 19:45:54 of reference CPU;
+the 168^2 calibration campaign consumed >73 CPU-days on 640 processors
+within a one-day reservation; the whole project shipped <2 MB per workunit
+and produced 123 GB of results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants as C
+from repro.analysis.report import paper_vs_measured
+from repro.core.estimation import calibration_experiment, estimate_total_work
+from repro.dedicated import DedicatedGridSimulation
+from repro.units import SECONDS_PER_DAY
+
+
+def test_sec41_estimate(library, cost_model, record_artifact, benchmark):
+    report = benchmark(estimate_total_work, library, cost_model)
+
+    record_artifact(
+        "sec41_total_work",
+        paper_vs_measured([
+            ("total cpu (y:d:h:m:s)", "1,488:237:19:45:54", report.total_ydhms),
+            ("max workunits", C.TOTAL_MAX_WORKUNITS, report.max_workunits),
+            ("result dataset (GB)", 123, report.result_bytes / 1e9),
+        ]),
+    )
+    assert report.total_ydhms == "1,488:237:19:45:54"
+    assert report.max_workunits == C.TOTAL_MAX_WORKUNITS
+
+
+def test_sec41_calibration_campaign(cost_model, record_artifact, benchmark):
+    plan, recovered = benchmark.pedantic(
+        calibration_experiment, args=(cost_model,), rounds=1, iterations=1
+    )
+    grid = DedicatedGridSimulation.grid5000_calibration_setup()
+    executed = grid.run_calibration(cost_model)
+
+    record_artifact(
+        "sec41_calibration",
+        paper_vs_measured([
+            ("couples measured", 28_224, plan.n_couples),
+            ("processors", C.CALIBRATION_PROCESSORS, plan.n_processors),
+            ("cpu days consumed", C.CALIBRATION_CPU_DAYS, plan.cpu_days),
+            ("fits one-day reservation", "yes",
+             "yes" if executed.makespan_s <= SECONDS_PER_DAY else "no"),
+            ("scheduled makespan (days)", "<1", executed.makespan_days),
+        ]),
+    )
+    assert plan.cpu_days == pytest.approx(C.CALIBRATION_CPU_DAYS, rel=0.20)
+    assert executed.makespan_s <= SECONDS_PER_DAY
+    assert recovered.shape == (168, 168)

@@ -1,0 +1,48 @@
+"""Table 1 — statistics of the computing-time matrix.
+
+Paper values (seconds): average 671, standard deviation 968.04, min 6,
+max 46,347, median 384 — measured over the 168^2 couples on the reference
+Opteron 2 GHz.  The benchmark times the full matrix calibration.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants as C
+from repro.analysis.report import paper_vs_measured
+from repro.maxdo.cost_model import CostModel
+from repro.units import seconds_to_ydhms
+
+
+def test_table1_statistics(cost_model, record_artifact, benchmark):
+    library_nsep = cost_model.nsep
+
+    stats = benchmark(cost_model.statistics)
+
+    record_artifact(
+        "table1_cost_matrix",
+        paper_vs_measured([
+            ("average (s)", C.MCT_MEAN_S, stats["average"]),
+            ("standard deviation (s)", C.MCT_STD_S, stats["standard deviation"]),
+            ("min (s)", C.MCT_MIN_S, stats["min"]),
+            ("max (s)", C.MCT_MAX_S, stats["max"]),
+            ("median (s)", C.MCT_MEDIAN_S, stats["median"]),
+            ("total cpu (y:d:h:m:s)", "1,488:237:19:45:54",
+             str(seconds_to_ydhms(cost_model.total_reference_cpu()))),
+            ("top-10 protein time share", C.TOP10_PROTEIN_TIME_SHARE,
+             cost_model.top_share(10)),
+        ]),
+    )
+
+    assert stats["average"] == pytest.approx(C.MCT_MEAN_S, rel=0.02)
+    assert stats["median"] == pytest.approx(C.MCT_MEDIAN_S, rel=0.03)
+    assert stats["max"] == pytest.approx(C.MCT_MAX_S, rel=0.15)
+    # The disparity the paper stresses: a heavy-tailed matrix.
+    assert stats["max"] / stats["median"] > 50
+
+
+def test_table1_calibration_speed(library, benchmark):
+    """Time the full 168x168 calibration from scratch."""
+    model = benchmark(CostModel.calibrated, library)
+    assert model.n_proteins == 168

@@ -1,0 +1,51 @@
+"""Table 2 — equivalence between WCG VFTP and dedicated-grid processors.
+
+Paper: whole period 16,450 VFTP <-> 3,029 processors; full-power phase
+26,248 VFTP <-> 4,833 processors (ratio = the 5.43 raw speed-down).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants as C
+from repro.analysis.comparison import EquivalenceTable
+from repro.analysis.report import paper_vs_measured, render_table
+
+
+def test_table2_equivalence(fluid_result, record_artifact, benchmark):
+    fluid, result = fluid_result
+
+    def build():
+        whole = result.metrics()
+        full_power = result.metrics(first_week=13)
+        return EquivalenceTable.from_metrics(whole, full_power), whole, full_power
+
+    table, whole, full_power = benchmark(build)
+
+    rows = table.rows()
+    rendered = render_table(
+        ["Grid", "whole period", "full power working phase"],
+        [
+            ["World Community Grid", rows[0][1], rows[1][1]],
+            ["Dedicated Grid", rows[0][2], rows[1][2]],
+        ],
+    )
+    comparison = paper_vs_measured([
+        ("WCG VFTP (whole period)", C.HCMD_VFTP_WHOLE_PERIOD, rows[0][1]),
+        ("dedicated (whole period)", C.DEDICATED_EQUIV_WHOLE_PERIOD, rows[0][2]),
+        ("WCG VFTP (full power)", C.HCMD_VFTP_FULL_POWER, rows[1][1]),
+        ("dedicated (full power)", C.DEDICATED_EQUIV_FULL_POWER, rows[1][2]),
+        ("raw speed-down", C.SPEED_DOWN_RAW, table.whole_period.speed_down),
+        ("week equivalent of 74,825 VFTP", C.WCG_WEEK_DEDICATED_EQUIV,
+         EquivalenceTable.current_week_equivalent(
+             C.WCG_WEEK_VFTP, whole.speed_down_net)),
+    ])
+    record_artifact("table2_equivalence", rendered + "\n\n" + comparison)
+
+    # Shape: the volunteer grid needs ~5.4x more VFTP than dedicated procs.
+    assert table.whole_period.speed_down == pytest.approx(C.SPEED_DOWN_RAW, rel=0.05)
+    assert rows[0][1] == pytest.approx(C.HCMD_VFTP_WHOLE_PERIOD, rel=0.06)
+    assert rows[1][1] == pytest.approx(C.HCMD_VFTP_FULL_POWER, rel=0.06)
+    assert rows[0][2] == pytest.approx(C.DEDICATED_EQUIV_WHOLE_PERIOD, rel=0.06)
+    assert rows[1][2] == pytest.approx(C.DEDICATED_EQUIV_FULL_POWER, rel=0.10)

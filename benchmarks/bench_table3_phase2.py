@@ -1,0 +1,45 @@
+"""Table 3 / Section 7 — the phase-II evaluation.
+
+Paper: phase II = 1,444,998,719,637 s of CPU over 40 weeks = 59,730 VFTP
+= 300,430 members; ~90 weeks at the phase-I rate; ~1,300,000 members when
+HCMD only gets 25% of the grid.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants as C
+from repro.analysis.report import paper_vs_measured, render_table
+from repro.core.projection import project_phase2
+
+
+def test_table3_phase2(record_artifact, benchmark):
+    proj = benchmark(project_phase2)
+
+    rendered = render_table(
+        ["", "HCMD phase I", "HCMD phase II"],
+        [[label, round(a), round(b)] for label, a, b in proj.rows()],
+    )
+    comparison = paper_vs_measured([
+        ("cpu time phase I (s)", C.PHASE1_CPU_S, proj.phase1_cpu_s),
+        ("cpu time phase II (s)", C.PHASE2_CPU_S, proj.phase2_cpu_s),
+        ("VFTP phase I", C.PHASE1_VFTP, proj.phase1_vftp),
+        ("VFTP phase II", C.PHASE2_VFTP, proj.phase2_vftp),
+        ("members phase I", C.PHASE1_MEMBERS, proj.phase1_members),
+        ("members phase II", C.PHASE2_MEMBERS, proj.phase2_members),
+        ("work ratio", C.PHASE2_WORK_RATIO, proj.ratio),
+        ("weeks at phase-I rate", C.PHASE2_WEEKS_AT_PHASE1_RATE,
+         proj.weeks_at_phase1_rate),
+        ("members at 25% share", C.PHASE2_MEMBERS_NEEDED,
+         proj.members_needed(C.PHASE2_GRID_SHARE)),
+    ])
+    record_artifact("table3_phase2", rendered + "\n\n" + comparison)
+
+    assert proj.phase2_cpu_s == pytest.approx(C.PHASE2_CPU_S, rel=1e-3)
+    assert round(proj.phase2_vftp) == C.PHASE2_VFTP
+    assert round(proj.phase2_members) == pytest.approx(C.PHASE2_MEMBERS, abs=2)
+    assert proj.weeks_at_phase1_rate == pytest.approx(90, abs=2)
+    assert proj.members_needed(0.25) == pytest.approx(
+        C.PHASE2_MEMBERS_NEEDED, rel=0.10
+    )

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Binding-site localization and focused docking (Sections 2 and 7).
+
+Phase I's maps are meant to reveal *where* proteins bind; phase II plans
+to exploit that knowledge to "reduce the number of docking points by a
+factor of 100".  This example runs the full loop: build position-resolved
+cross-docking maps with planted interfaces, localize the binding sites by
+consensus, prune the starting grids, and measure how much partner signal
+the 10x and 100x reductions keep — the feasibility behind Table 3.
+
+Run:  python examples/binding_sites.py
+"""
+
+import numpy as np
+
+from repro.analysis.report import render_table
+from repro.science import SiteMaps, predict_partners, recovery_rate
+
+
+def main() -> None:
+    print("== binding-site localization ==\n")
+    maps = SiteMaps.synthetic(n_proteins=80, seed=2007, n_positions=400)
+    print(f"proteins: {maps.n_proteins}; positions per receptor: "
+          f"{maps.n_positions}; planted complexes: {len(maps.complexes)}")
+    print(f"interface size: ~{maps.planted_sites.mean():.0%} of each surface\n")
+
+    print(f"consensus site recovery: {maps.site_recovery():.0%} of the "
+          f"planted interface positions\n")
+
+    # One receptor's site, visualized as consensus score vs truth.
+    i = 0
+    scores = maps.consensus_scores(i)
+    truth = maps.planted_sites[i]
+    print(f"receptor 0: mean consensus score inside the planted site "
+          f"{scores[truth].mean():.3f}, outside {scores[~truth].mean():.3f}")
+    print("(lower = more ligands bind there anomalously well)\n")
+
+    print("== focused docking: the phase-II cost lever ==\n")
+    rows = []
+    full_pred = predict_partners(maps.to_matrix())
+    rows.append(["100%", "1.00x", f"{recovery_rate(full_pred, maps.complexes, 1):.0%}"])
+    for keep in (0.1, 0.01):
+        pruned = maps.pruned(keep_fraction=keep)
+        pred = predict_partners(pruned.to_matrix())
+        rows.append([
+            f"{keep:.0%}",
+            f"{1 / maps.docking_cost_fraction(keep):.0f}x cheaper",
+            f"{recovery_rate(pred, maps.complexes, 1):.0%}",
+        ])
+    print(render_table(
+        ["docking points kept", "compute cost", "top-1 partner recovery"],
+        rows,
+    ))
+    print(
+        "\nCutting the starting grid to the consensus site keeps most of\n"
+        "the partner signal at a fraction of the compute — the mechanism\n"
+        "behind phase II's '4,000 proteins with points reduced by a factor\n"
+        "of 100' plan (Section 7)."
+    )
+
+
+if __name__ == "__main__":
+    main()

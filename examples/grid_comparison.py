@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Volunteer grid vs dedicated grid (Section 6, Table 2).
+
+Integrates phase I at full scale with the fluid model, derives the Table 2
+equivalence, and cross-checks it by executing the same useful work on the
+dedicated-grid simulator.
+
+Run:  python examples/grid_comparison.py
+"""
+
+from repro import CostModel, FluidCampaign, PackagingPolicy, ProteinLibrary, WorkUnitPlan
+from repro.analysis.comparison import EquivalenceTable
+from repro.analysis.report import paper_vs_measured, render_table
+from repro import constants as C
+from repro.core.campaign import CampaignPlan
+from repro.dedicated import DedicatedGridSimulation
+from repro.units import seconds_to_ydhms
+
+
+def main() -> None:
+    print("== volunteer vs dedicated grid ==\n")
+    library = ProteinLibrary.phase1()
+    cost_model = CostModel.calibrated(library)
+    campaign = CampaignPlan(library, cost_model)
+    plan = WorkUnitPlan(cost_model, PackagingPolicy(target_hours=3.65))
+
+    fluid = FluidCampaign(campaign, plan.duration_stats()["mean"])
+    result = fluid.run()
+    whole = result.metrics()
+    full_power = result.metrics(first_week=13)
+
+    print(f"campaign completes in {result.completion_week:.1f} weeks "
+          f"(paper: 26)")
+    print(f"volunteer CPU consumed: {seconds_to_ydhms(whole.consumed_cpu_s)} "
+          f"(paper: 8,082:275:17:15:44)\n")
+
+    table = EquivalenceTable.from_metrics(whole, full_power)
+    rows = [
+        ["World Community Grid (VFTP)", *[r[1] for r in table.rows()]],
+        ["Dedicated Grid (processors)", *[r[2] for r in table.rows()]],
+    ]
+    print("Table 2 (measured):")
+    print(render_table(["grid", "whole period", "full power phase"], rows))
+    print()
+    print(paper_vs_measured([
+        ("VFTP whole period", C.HCMD_VFTP_WHOLE_PERIOD, whole.vftp),
+        ("VFTP full power", C.HCMD_VFTP_FULL_POWER, full_power.vftp),
+        ("dedicated equiv whole", C.DEDICATED_EQUIV_WHOLE_PERIOD,
+         whole.dedicated_equivalent),
+        ("dedicated equiv full power", C.DEDICATED_EQUIV_FULL_POWER,
+         full_power.dedicated_equivalent),
+        ("raw speed-down", C.SPEED_DOWN_RAW, whole.speed_down_raw),
+    ]))
+
+    # Cross-check: a Grid'5000-style cluster of the equivalent size chews
+    # through the same packaged workload in about the campaign span.
+    n = round(whole.dedicated_equivalent)
+    print(f"\ncross-check: replaying the packaged workload on {n} dedicated "
+          f"reference processors ...")
+    dedicated = DedicatedGridSimulation(n_processors=n).run_workunits(
+        plan, max_workunits=200_000, lpt=False
+    )
+    frac = dedicated.cpu_seconds / cost_model.total_reference_cpu()
+    scaled_weeks = dedicated.makespan_s / 604800 / frac
+    print(f"  prefix of {dedicated.n_tasks:,} workunits = {frac:.1%} of the work")
+    print(f"  extrapolated full-campaign makespan: {scaled_weeks:.1f} weeks "
+          f"(volunteer grid: {result.completion_week:.1f})")
+    print(f"  cluster utilization: {dedicated.utilization:.1%} "
+          f"(the 'optimally used' caveat of the paper)")
+
+    # Section 6's closing estimate.
+    week_equiv = EquivalenceTable.current_week_equivalent(
+        C.WCG_WEEK_VFTP, whole.speed_down_net
+    )
+    print(f"\na {C.WCG_WEEK_VFTP:,}-VFTP WCG week is worth ~{week_equiv:,.0f} "
+          f"dedicated Opterons (paper: {C.WCG_WEEK_DEDICATED_EQUIV:,})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Middleware accounting and the points system (Sections 6 and 8).
+
+Phase I ran on the UD agent, whose wall-clock accounting overstates the
+work a volunteer fleet delivers; phase II moves to BOINC's CPU-time
+accounting; the paper's conclusion proposes points (run time x benchmark)
+as the middleware-independent VFTP estimator.  This example runs the same
+scaled campaign under both accountings and puts the three estimators side
+by side — plus the server-capacity check that constrains workunit size
+from below (Section 3.2).
+
+Run:  python examples/middleware_accounting.py
+"""
+
+from repro import constants as C
+from repro.analysis.report import render_table
+from repro.boinc.capacity import ServerCapacityModel
+from repro.boinc.credit import AccountingMode
+from repro.boinc.simulator import scaled_phase1
+
+
+def main() -> None:
+    print("== run-time accounting across middlewares ==\n")
+
+    rows = []
+    for mode in AccountingMode:
+        sim = scaled_phase1(scale=200, n_proteins=14, accounting=mode)
+        result = sim.run()
+        truth = result.vftp_from_useful_work()
+        rows.append([
+            {"ud": "UD (phase I)", "boinc": "BOINC (phase II)"}[mode.value],
+            f"{result.metrics().vftp / truth:.2f}",
+            f"{result.vftp_from_credit() / truth:.2f}",
+            f"{result.metrics().redundancy:.2f}",
+        ])
+    print("VFTP estimators relative to true useful throughput (1.0 = exact):")
+    print(render_table(
+        ["agent", "runtime-based / truth", "points-based / truth", "redundancy"],
+        rows,
+    ))
+    print(
+        "\nThe UD agent bills wall-clock at a 60% throttle and lowest\n"
+        "priority, so its runtime-based VFTP runs ~4x hot — the paper's\n"
+        "speed-down.  Points (runtime x benchmark) cancel device speed and\n"
+        "land at the redundancy floor under either middleware: the\n"
+        "'more middleware independent' estimator of Section 8.\n"
+    )
+
+    print("== server capacity (Section 3.2) ==\n")
+    model = ServerCapacityModel()
+    rows = []
+    for hours in (0.1, 1.0, 3.3, 10.0):
+        device_s = hours * 3600 * C.SPEED_DOWN_NET
+        rows.append([
+            f"{hours:g} h",
+            f"{model.results_per_day(C.WCG_DEVICES, device_s):,.0f}",
+            f"{model.utilization(C.WCG_DEVICES, device_s):.1%}",
+            "yes" if model.sustainable(C.WCG_DEVICES, device_s) else "NO",
+        ])
+    print(f"{C.WCG_DEVICES:,} devices against a BOINC-class task server:")
+    print(render_table(
+        ["workunit target", "results/day", "utilization", "sustainable"], rows
+    ))
+    floor = model.min_workunit_hours(C.WCG_DEVICES, C.SPEED_DOWN_NET)
+    print(f"\nserver floor on workunit duration: {floor:.2f} reference hours;")
+    print("the ~10 h human-factor target sits far above it, as the paper's")
+    print("deployment (3-4 h workunits) confirms.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,94 @@
+#!/usr/bin/env python
+"""Partner prediction from cross-docking energy maps (Section 2).
+
+The scientific goal behind the 80 centuries of CPU time: identify which
+proteins interact.  This example builds the phase-I-scale cross-docking
+matrix with planted complexes (every library protein "is known to take
+part in at least one identified protein-protein complex"), then runs the
+prediction pipeline — stickiness normalization and partner ranking — and
+scores it against the planted truth.  A tiny library is also docked with
+the *real* MAXDo engine to show the identical pipeline on physical
+energies.
+
+Run:  python examples/partner_prediction.py
+"""
+
+import numpy as np
+
+from repro import ProteinLibrary
+from repro.analysis.report import render_table
+from repro.science import CrossDockingMatrix, predict_partners, recovery_rate
+from repro.science.partners import ranking_auc
+
+
+def main() -> None:
+    print("== partner prediction at phase-I scale ==\n")
+    library = ProteinLibrary.phase1()
+    matrix = CrossDockingMatrix.synthetic(library)
+    print(f"proteins: {matrix.n_proteins}; planted complexes: "
+          f"{len(matrix.complexes)}")
+    print(f"energy range: [{matrix.energies.min():.1f}, "
+          f"{matrix.energies.max():.1f}] kcal/mol\n")
+
+    raw = predict_partners(matrix, normalize=False)
+    norm = predict_partners(matrix, normalize=True)
+    rows = []
+    for label, pred in (("raw best energies", raw),
+                        ("normalized (double-centered)", norm)):
+        rows.append([
+            label,
+            f"{recovery_rate(pred, matrix.complexes, k=1):.0%}",
+            f"{recovery_rate(pred, matrix.complexes, k=5):.0%}",
+            f"{ranking_auc(pred, matrix.complexes):.3f}",
+        ])
+    print("recovery of the planted partners:")
+    print(render_table(["scoring", "top-1", "top-5", "AUC"], rows))
+    print(
+        "\nRaw energies mostly rank protein stickiness (big charged\n"
+        "proteins bind everything); double centering removes the\n"
+        "per-protein bias and exposes the couple-specific signal —\n"
+        "the normalized interaction index of the cross-docking method.\n"
+    )
+
+    # A protein's report card.
+    a, b = matrix.complexes[0]
+    print(f"example: {library.names[a]} (true partner {library.names[b]})")
+    top = norm.top_partners(a, 5)
+    print(render_table(
+        ["rank", "candidate", "true partner?"],
+        [[r + 1, library.names[p], "YES" if p == b else ""]
+         for r, p in enumerate(top)],
+    ))
+
+    print("\n== same pipeline on real docking energies (tiny library) ==\n")
+    # A hand-sized library (tens of beads per protein) so the full 4x4
+    # real-docking matrix runs in seconds.
+    tiny = ProteinLibrary(
+        names=["P1", "P2", "P3", "P4"],
+        nsep=np.array([8, 8, 8, 8]),
+        residue_counts=np.array([28, 34, 40, 46]),
+        spacing=4.0,
+        seed=5,
+    )
+    real = CrossDockingMatrix.from_docking(
+        tiny, nsep_per_couple=3, n_couples=4, n_gamma=2,
+        minimize=True, max_iterations=20,
+    )
+    print("best interaction energies (kcal/mol), receptor rows:")
+    header = [""] + list(tiny.names)
+    rows = [
+        [tiny.names[i]] + [f"{real.energies[i, j]:.2f}" for j in range(4)]
+        for i in range(4)
+    ]
+    print(render_table(header, rows))
+    pred = predict_partners(real)
+    print("\npredicted best partner per protein:")
+    print(render_table(
+        ["protein", "best partner"],
+        [[tiny.names[i], tiny.names[pred.top_partners(i, 1)[0]]]
+         for i in range(4)],
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Quickstart: estimate and package HCMD phase I (Sections 4.1-4.2).
+
+Builds the calibrated 168-protein library and cost matrix, applies
+formula (1), and slices the workload into ~10 h workunits — the paper's
+preparation pipeline, end to end, in a few seconds.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    CostModel,
+    PackagingPolicy,
+    ProteinLibrary,
+    WorkUnitPlan,
+    estimate_total_work,
+)
+from repro.analysis.report import paper_vs_measured
+from repro.units import format_bytes, format_duration
+
+
+def main() -> None:
+    print("== HCMD phase I preparation ==\n")
+
+    # 1. The protein set: 168 synthetic proteins whose starting-position
+    #    counts are calibrated to the paper's Figure 2 distribution.
+    library = ProteinLibrary.phase1()
+    print(f"proteins: {len(library)}")
+    print(f"starting positions (sum): {int(library.nsep.sum()):,}")
+    print(f"largest protein: {library.names[int(library.nsep.argmax())]} "
+          f"with {int(library.nsep.max()):,} positions\n")
+
+    # 2. The computing-time model: the 168x168 Mct matrix a real deployment
+    #    measured on Grid'5000 (Table 1 statistics).
+    cost_model = CostModel.calibrated(library)
+    stats = cost_model.statistics()
+    print("computing-time matrix (seconds per starting position):")
+    for key in ("average", "median", "min", "max"):
+        print(f"  {key:>8}: {stats[key]:,.0f}")
+    print()
+
+    # 3. Formula (1): the total work estimate.
+    report = estimate_total_work(library, cost_model)
+    print(f"total reference CPU time: {report.total_ydhms} (y:d:h:m:s)")
+    print(f"maximum workunits: {report.max_workunits:,}")
+    print(f"projected result dataset: {format_bytes(report.result_bytes)}\n")
+
+    # 4. Packaging: slice into ~10 h pieces (Figure 4a).
+    plan = WorkUnitPlan(cost_model, PackagingPolicy(target_hours=10.0))
+    wu_stats = plan.duration_stats()
+    print(f"workunits at h=10: {plan.total_workunits():,}")
+    print(f"mean workunit duration: {format_duration(wu_stats['mean'])}")
+    print(f"longest workunit: {format_duration(wu_stats['max'])}\n")
+
+    print(paper_vs_measured([
+        ("total max workunits", 49_481_544, report.max_workunits),
+        ("workunits at h=10", 1_364_476, plan.total_workunits()),
+        ("matrix mean (s)", 671, stats["average"]),
+        ("matrix median (s)", 384, stats["median"]),
+    ]))
+
+
+if __name__ == "__main__":
+    main()

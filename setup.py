@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (which build a wheel) are unavailable.  This shim
+lets ``pip install -e . --no-use-pep517 --no-build-isolation`` use the
+legacy ``setup.py develop`` path instead.
+"""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,67 @@
+"""repro — reproduction of *Large Scale Execution of a Bioinformatic
+Application on a Volunteer Grid* (Bertis, Bolze, Desprez, Reed; LIP
+RR-2007-49 / IPPS 2008).
+
+The package rebuilds the whole HCMD phase-I pipeline on synthetic
+substrates:
+
+* :mod:`repro.proteins` — calibrated reduced-protein library (168 proteins,
+  the Figure 2 ``Nsep`` distribution);
+* :mod:`repro.maxdo` — the MAXDo cross-docking engine (LJ + electrostatic
+  energy, rigid-body minimization, checkpointing, result files) and the
+  Section 4.1 computing-time model (Table 1, Figure 3);
+* :mod:`repro.core` — workunit packaging (Figure 4), campaign planning
+  (Figure 7), formula (1) estimation, VFTP metrics (Table 2) and the
+  phase-II projection (Table 3);
+* :mod:`repro.grid` / :mod:`repro.boinc` — a volunteer-grid discrete-event
+  simulator (availability, throttling, checkpoint losses, redundant
+  computing) with the WCG population model (Figure 1) and the HCMD share
+  schedule (Figure 6a);
+* :mod:`repro.dedicated` — the Grid'5000-like dedicated grid;
+* :mod:`repro.fluid` — the full-scale analytic campaign model;
+* :mod:`repro.analysis` / :mod:`repro.validation` — reporting and the
+  Section 5.2 result checks.
+
+Quickstart::
+
+    from repro import ProteinLibrary, CostModel, PackagingPolicy, WorkUnitPlan
+
+    library = ProteinLibrary.phase1()
+    cost_model = CostModel.calibrated(library)
+    plan = WorkUnitPlan(cost_model, PackagingPolicy(target_hours=10.0))
+    print(plan.total_workunits())  # ~1.36M, the paper's Figure 4a
+"""
+
+from . import constants, units
+from .core.campaign import CampaignPlan
+from .core.estimation import calibration_experiment, estimate_total_work
+from .core.metrics import CampaignMetrics, virtual_full_time_processors
+from .core.packaging import PackagingPolicy, WorkUnitPlan
+from .core.projection import project_phase2
+from .core.workunit import WorkUnit
+from .fluid import FluidCampaign
+from .grid.population import WCGPopulationModel, hcmd_share_schedule
+from .maxdo.cost_model import CostModel
+from .proteins.library import ProteinLibrary
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "constants",
+    "units",
+    "CampaignPlan",
+    "calibration_experiment",
+    "estimate_total_work",
+    "CampaignMetrics",
+    "virtual_full_time_processors",
+    "PackagingPolicy",
+    "WorkUnitPlan",
+    "project_phase2",
+    "WorkUnit",
+    "FluidCampaign",
+    "WCGPopulationModel",
+    "hcmd_share_schedule",
+    "CostModel",
+    "ProteinLibrary",
+    "__version__",
+]

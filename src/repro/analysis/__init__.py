@@ -1,0 +1,32 @@
+"""Analysis and reporting: turning telemetry into the paper's tables/figures.
+
+* :mod:`repro.analysis.timeseries` — CPU-time series to VFTP, weekly
+  aggregation, phase segmentation (Figures 1 and 6a);
+* :mod:`repro.analysis.distributions` — histogram builders for Figures 2,
+  4 and 8;
+* :mod:`repro.analysis.progression` — Figure 7 progression rendering and
+  anchors;
+* :mod:`repro.analysis.comparison` — the Table 2 equivalence;
+* :mod:`repro.analysis.report` — plain-text table/histogram rendering and
+  paper-vs-measured reports.
+"""
+
+from .comparison import EquivalenceTable
+from .distributions import histogram, hour_bins
+from .progression import progression_anchor, progression_curve
+from .report import paper_vs_measured, render_histogram, render_table
+from .timeseries import WeeklySeries, cpu_days_to_vftp, segment_phases
+
+__all__ = [
+    "EquivalenceTable",
+    "histogram",
+    "hour_bins",
+    "progression_anchor",
+    "progression_curve",
+    "paper_vs_measured",
+    "render_histogram",
+    "render_table",
+    "WeeklySeries",
+    "cpu_days_to_vftp",
+    "segment_phases",
+]

@@ -1,0 +1,74 @@
+"""Table 2: equivalence between the volunteer and the dedicated grid.
+
+"Table 2 represents the equivalence between the average number of virtual
+full-time processors which were consumed during the HCMD project and the
+number of processors which would be necessary on a dedicated grid such as
+Grid'5000" — for the whole period and for the full-power phase, with the
+caveat that the dedicated grid is supposed optimally used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.metrics import CampaignMetrics
+
+__all__ = ["EquivalenceRow", "EquivalenceTable"]
+
+
+@dataclass(frozen=True)
+class EquivalenceRow:
+    """One period's equivalence entry."""
+
+    period: str
+    vftp: float
+    dedicated_processors: float
+
+    @property
+    def speed_down(self) -> float:
+        """VFTP per dedicated processor — the raw speed-down (5.43)."""
+        return self.vftp / self.dedicated_processors
+
+
+@dataclass(frozen=True)
+class EquivalenceTable:
+    """Table 2: whole period and full-power phase."""
+
+    whole_period: EquivalenceRow
+    full_power: EquivalenceRow
+
+    @classmethod
+    def from_metrics(
+        cls, whole: CampaignMetrics, full_power: CampaignMetrics
+    ) -> "EquivalenceTable":
+        return cls(
+            whole_period=EquivalenceRow(
+                period="whole period",
+                vftp=whole.vftp,
+                dedicated_processors=whole.dedicated_equivalent,
+            ),
+            full_power=EquivalenceRow(
+                period="full power working phase",
+                vftp=full_power.vftp,
+                dedicated_processors=full_power.dedicated_equivalent,
+            ),
+        )
+
+    def rows(self) -> list[tuple[str, int, int]]:
+        """Rendered rows: (period, WCG VFTP, dedicated processors)."""
+        return [
+            (row.period, round(row.vftp), round(row.dedicated_processors))
+            for row in (self.whole_period, self.full_power)
+        ]
+
+    @staticmethod
+    def current_week_equivalent(week_vftp: float, speed_down_net: float) -> float:
+        """Section 6's closing estimate: dedicated processors equivalent to
+        a week in which WCG delivered ``week_vftp``.
+
+        Uses the *net* speed-down because an all-of-WCG week has no
+        HCMD-specific redundancy attached (74,825 / 3.96 -> ~18,895).
+        """
+        if speed_down_net <= 0:
+            raise ValueError("speed-down must be positive")
+        return week_vftp / speed_down_net

@@ -1,0 +1,111 @@
+"""Artifact exporters.
+
+The benchmark harness renders text tables; downstream users usually want
+the underlying numbers.  These helpers serialize the figure/table data as
+CSV (one file per artifact) and JSON (self-describing, with the paper
+reference attached), with deterministic formatting so exports diff cleanly
+across runs.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Any, Mapping, Sequence
+
+import numpy as np
+
+__all__ = ["export_series_csv", "export_histogram_csv", "export_json"]
+
+
+def _tolist(value: Any) -> Any:
+    """JSON-safe conversion of numpy scalars/arrays."""
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, Mapping):
+        return {k: _tolist(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [_tolist(v) for v in value]
+    return value
+
+
+def export_series_csv(
+    path: Path | str,
+    columns: Mapping[str, Sequence[float]],
+) -> Path:
+    """Write parallel columns (e.g. week, vftp, results) as CSV.
+
+    All columns must have equal length; the header is the column names in
+    the given order.
+    """
+    path = Path(path)
+    names = list(columns.keys())
+    if not names:
+        raise ValueError("need at least one column")
+    arrays = [np.asarray(columns[n]).ravel() for n in names]
+    length = len(arrays[0])
+    if any(len(a) != length for a in arrays):
+        raise ValueError("all columns must have the same length")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="ascii") as fh:
+        writer = csv.writer(fh)
+        writer.writerow(names)
+        for row in zip(*arrays):
+            writer.writerow([_format(v) for v in row])
+    return path
+
+
+def export_histogram_csv(
+    path: Path | str, bin_edges: np.ndarray, counts: np.ndarray
+) -> Path:
+    """Write a histogram as (bin_low, bin_high, count) rows."""
+    edges = np.asarray(bin_edges, dtype=np.float64)
+    counts = np.asarray(counts, dtype=np.float64)
+    if len(edges) != len(counts) + 1:
+        raise ValueError("need len(edges) == len(counts) + 1")
+    return export_series_csv(
+        path,
+        {"bin_low": edges[:-1], "bin_high": edges[1:], "count": counts},
+    )
+
+
+def export_json(
+    path: Path | str,
+    payload: Mapping[str, Any],
+    experiment: str | None = None,
+) -> Path:
+    """Write a self-describing JSON artifact.
+
+    ``experiment`` (e.g. ``"Figure 6a"``) is embedded under ``_meta``
+    together with the paper reference, so exported files are traceable in
+    isolation.
+    """
+    path = Path(path)
+    document = {
+        "_meta": {
+            "paper": (
+                "Bertis, Bolze, Desprez, Reed. Large Scale Execution of a "
+                "Bioinformatic Application on a Volunteer Grid. "
+                "LIP RR-2007-49 / IPPS 2008."
+            ),
+            "experiment": experiment,
+        },
+        **{k: _tolist(v) for k, v in payload.items()},
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(document, indent=1, sort_keys=True) + "\n", encoding="ascii"
+    )
+    return path
+
+
+def _format(value: float) -> str:
+    """Deterministic CSV cell formatting (no float repr jitter)."""
+    if float(value).is_integer():
+        return str(int(value))
+    return f"{float(value):.10g}"

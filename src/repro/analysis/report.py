@@ -1,0 +1,95 @@
+"""Plain-text rendering of tables, histograms and paper-vs-measured reports.
+
+Every benchmark prints its artifact through these helpers so the harness
+output reads like the paper's tables/figures with a "measured" column next
+to the published values.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["render_table", "render_histogram", "paper_vs_measured", "format_number"]
+
+
+def format_number(value: float | int | str) -> str:
+    """Humane formatting: thousands separators, trimmed floats."""
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, np.integer)):
+        return f"{int(value):,}"
+    if value != value:  # NaN
+        return "-"
+    if abs(value) >= 1000:
+        return f"{value:,.0f}"
+    if abs(value) >= 10:
+        return f"{value:,.2f}".rstrip("0").rstrip(".")
+    return f"{value:.4g}"
+
+
+def render_table(
+    headers: Sequence[str], rows: Sequence[Sequence[float | int | str]]
+) -> str:
+    """Fixed-width text table.
+
+    >>> print(render_table(["a", "b"], [[1, 2.5]]))
+    a | b
+    --+----
+    1 | 2.5
+    """
+    cells = [[format_number(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    widths = [
+        max(len(headers[c]), *(len(row[c]) for row in cells)) if cells else len(headers[c])
+        for c in range(len(headers))
+    ]
+    lines = [
+        " | ".join(h.ljust(w) for h, w in zip(headers, widths)).rstrip(),
+        "-+-".join("-" * w for w in widths),
+    ]
+    for row in cells:
+        lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_histogram(
+    bin_edges: np.ndarray,
+    counts: np.ndarray,
+    width: int = 50,
+    label=lambda lo, hi: f"[{lo:g}, {hi:g})",
+) -> str:
+    """ASCII bar chart of a histogram (one row per bin)."""
+    edges = np.asarray(bin_edges, dtype=np.float64)
+    counts = np.asarray(counts, dtype=np.float64)
+    if len(edges) != len(counts) + 1:
+        raise ValueError("need len(edges) == len(counts) + 1")
+    peak = counts.max() if counts.size else 0.0
+    lines = []
+    for k, count in enumerate(counts):
+        bar = "#" * (int(round(count / peak * width)) if peak > 0 else 0)
+        lines.append(f"{label(edges[k], edges[k + 1]):>18} {format_number(count):>12} {bar}")
+    return "\n".join(lines)
+
+
+def paper_vs_measured(
+    rows: Sequence[tuple[str, float | int | str, float | int | str]]
+) -> str:
+    """Three-column report: quantity, paper value, measured value."""
+    table_rows = []
+    for name, paper, measured in rows:
+        row = [name, format_number(paper), format_number(measured)]
+        if (
+            isinstance(paper, (int, float, np.integer, np.floating))
+            and isinstance(measured, (int, float, np.integer, np.floating))
+            and float(paper) != 0
+        ):
+            ratio = float(measured) / float(paper)
+            row.append(f"{ratio - 1:+.1%}")
+        else:
+            row.append("")
+        table_rows.append(row)
+    return render_table(["quantity", "paper", "measured", "delta"], table_rows)

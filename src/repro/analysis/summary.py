@@ -1,0 +1,97 @@
+"""One-shot reproduction report.
+
+``full_report()`` regenerates the paper's headline numbers — Table 1,
+Figure 2/4 counts, the §4.1 totals, Table 2 (via the fluid campaign),
+Figure 6b accounting and Table 3 — and renders them as a single
+paper-vs-measured document.  It is what ``repro-hcmd report`` prints and a
+convenient smoke test that the whole calibrated pipeline is wired.
+"""
+
+from __future__ import annotations
+
+from .. import constants as C
+from ..core.campaign import CampaignPlan
+from ..core.estimation import estimate_total_work
+from ..core.packaging import PackagingPolicy, WorkUnitPlan
+from ..core.projection import project_phase2
+from ..fluid import FluidCampaign
+from ..maxdo.cost_model import CostModel
+from ..proteins.library import ProteinLibrary
+from ..validation.merge import dataset_volume
+from .report import paper_vs_measured
+
+__all__ = ["full_report"]
+
+
+def full_report(seed: int = C.DEFAULT_SEED) -> str:
+    """Render the whole reproduction as one paper-vs-measured document."""
+    library = ProteinLibrary.phase1(seed=seed)
+    cost_model = CostModel.calibrated(library)
+    campaign = CampaignPlan(library, cost_model)
+    estimate = estimate_total_work(library, cost_model)
+    stats = cost_model.statistics()
+    volume = dataset_volume(library)
+
+    plan_h10 = WorkUnitPlan(cost_model, PackagingPolicy(10.0))
+    plan_h4 = WorkUnitPlan(cost_model, PackagingPolicy(4.0))
+    deployed = WorkUnitPlan(cost_model, PackagingPolicy(3.65))
+
+    fluid = FluidCampaign(campaign, deployed.duration_stats()["mean"])
+    result = fluid.run()
+    whole = result.metrics()
+    full_power = result.metrics(first_week=13)
+    proj = project_phase2()
+    snap = fluid.snapshot_at_week(result, 19.1)
+
+    sections = [
+        ("Section 4.1 / Table 1 — the computing-time model", [
+            ("matrix mean (s)", C.MCT_MEAN_S, stats["average"]),
+            ("matrix median (s)", C.MCT_MEDIAN_S, stats["median"]),
+            ("matrix max (s)", C.MCT_MAX_S, stats["max"]),
+            ("total reference CPU", "1,488:237:19:45:54", estimate.total_ydhms),
+            ("maximum workunits", C.TOTAL_MAX_WORKUNITS, estimate.max_workunits),
+            ("result dataset (GB)", 123, volume.raw_bytes / 1e9),
+        ]),
+        ("Section 4.2 / Figure 4 — packaging", [
+            ("workunits at h=10", C.N_WORKUNITS_H10, plan_h10.total_workunits()),
+            ("workunits at h=4", C.N_WORKUNITS_H4, plan_h4.total_workunits()),
+            ("deployed mean workunit (s)", C.DEPLOYED_WU_MEAN_S,
+             deployed.duration_stats()["mean"]),
+        ]),
+        ("Section 5 / Figures 6-7 — execution on the volunteer grid", [
+            ("completion (weeks)", 26, result.completion_week),
+            ("results disclosed", C.RESULTS_DISCLOSED,
+             float(result.results_disclosed.sum())),
+            ("effective results", C.RESULTS_EFFECTIVE,
+             float(result.results_useful.sum())),
+            ("redundancy factor", C.REDUNDANCY_FACTOR, result.overall_redundancy),
+            ("proteins docked on 2007-05-02", 0.85,
+             snap.protein_fraction_complete),
+            ("work done on 2007-05-02", 0.47, snap.work_fraction),
+        ]),
+        ("Section 6 / Table 2 — grid equivalence", [
+            ("VFTP whole period", C.HCMD_VFTP_WHOLE_PERIOD, whole.vftp),
+            ("dedicated equivalent", C.DEDICATED_EQUIV_WHOLE_PERIOD,
+             whole.dedicated_equivalent),
+            ("VFTP full power", C.HCMD_VFTP_FULL_POWER, full_power.vftp),
+            ("raw speed-down", C.SPEED_DOWN_RAW, whole.speed_down_raw),
+            ("net speed-down", C.SPEED_DOWN_NET, whole.speed_down_net),
+        ]),
+        ("Section 7 / Table 3 — phase II", [
+            ("phase II CPU (s)", C.PHASE2_CPU_S, proj.phase2_cpu_s),
+            ("phase II VFTP @40 weeks", C.PHASE2_VFTP, proj.phase2_vftp),
+            ("phase II members", C.PHASE2_MEMBERS, proj.phase2_members),
+            ("weeks at phase-I rate", C.PHASE2_WEEKS_AT_PHASE1_RATE,
+             proj.weeks_at_phase1_rate),
+        ]),
+    ]
+    parts = [
+        "HCMD phase I reproduction — paper vs measured",
+        "=" * 46,
+    ]
+    for title, rows in sections:
+        parts.append("")
+        parts.append(title)
+        parts.append("-" * len(title))
+        parts.append(paper_vs_measured(rows))
+    return "\n".join(parts)

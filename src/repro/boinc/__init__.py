@@ -1,0 +1,35 @@
+"""Volunteer-grid (World Community Grid-like) discrete-event simulator.
+
+The real HCMD phase I ran on hundreds of thousands of volunteer devices;
+that scale is out of reach, so this subpackage simulates the grid's
+*mechanisms* at reduced scale and reports scale-corrected aggregates:
+
+* :mod:`repro.boinc.server` — workunit database, protein-after-protein
+  release, instance deadlines and reissue;
+* :mod:`repro.boinc.validator` — redundant computing: quorum comparison
+  early, value-range validation later (Section 5.1), redundancy accounting;
+* :mod:`repro.boinc.agent` — the volunteer agent state machine: fetch,
+  compute under availability/throttle, checkpoint-restart losses, delayed
+  reporting, silent abandonment;
+* :mod:`repro.boinc.simulator` — campaign orchestration, host arrivals
+  following the HCMD share schedule, daily telemetry, and the final
+  :class:`repro.core.metrics.CampaignMetrics`.
+"""
+
+from .credit import AccountingMode, CobblestoneScale, HostBenchmark, vftp_from_credit
+from .server import GridServer, ServerConfig
+from .simulator import CampaignResult, VolunteerGridSimulation, scaled_phase1
+from .validator import ValidationPolicy
+
+__all__ = [
+    "AccountingMode",
+    "CobblestoneScale",
+    "HostBenchmark",
+    "vftp_from_credit",
+    "GridServer",
+    "ServerConfig",
+    "CampaignResult",
+    "VolunteerGridSimulation",
+    "scaled_phase1",
+    "ValidationPolicy",
+]

@@ -1,0 +1,186 @@
+"""The volunteer agent state machine.
+
+"The agent connects to the server to get new workunit, then it launches the
+program [...].  After the computing work is finished, the computing device
+sends back the result [...] and asks for an another workunit." (Section 3.1)
+
+Behaviour modeled per the paper:
+
+* computation only progresses while the host's availability trace is on,
+  at the host's ``progress_rate`` (speed x duty cycle);
+* every availability interruption may be a clean suspend (in-memory state
+  kept) or a kill — after a kill, progress rolls back to the last
+  checkpoint, i.e. the last completed starting position (Section 4.3);
+* finished results are reported after a reconnection delay; the accounted
+  run time is the *active wall-clock* time, reproducing the UD agent's
+  accounting bias (Section 6);
+* a fetched workunit may be silently abandoned (host never reconnects);
+  the server's deadline reclaims it;
+* an idle agent with no work available polls again a few hours later.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..grid.des import Simulator
+from ..grid.host import HostSpec
+from ..units import SECONDS_PER_HOUR
+from .credit import (
+    AccountingMode,
+    HostBenchmark,
+    accounted_seconds,
+    claimed_credit,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .server import GridServer, Instance
+    from .simulator import Telemetry
+
+__all__ = ["VolunteerAgent", "KILL_PROBABILITY", "WORK_POLL_HOURS"]
+
+#: Probability that an availability interruption kills the process (losing
+#: progress back to the last starting-position checkpoint) instead of
+#: cleanly suspending it.
+KILL_PROBABILITY = 0.30
+
+#: Idle agents retry the server after this many hours without work.
+WORK_POLL_HOURS = 8.0
+
+#: Lognormal sigma of the per-host benchmark measurement bias (how far the
+#: agent's Whetstone-style benchmark drifts from application throughput).
+BENCHMARK_BIAS_SIGMA = 0.05
+
+
+class VolunteerAgent:
+    """One volunteer device's agent."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        server: "GridServer",
+        spec: HostSpec,
+        telemetry: "Telemetry",
+        rng: np.random.Generator,
+        accounting: AccountingMode = AccountingMode.UD_WALL_CLOCK,
+    ) -> None:
+        self.sim = sim
+        self.server = server
+        self.spec = spec
+        self.telemetry = telemetry
+        self.rng = rng
+        self.accounting = accounting
+        self.benchmark = HostBenchmark(
+            host_speed=spec.speed,
+            measurement_bias=float(np.exp(rng.normal(0.0, BENCHMARK_BIAS_SIGMA))),
+        )
+        self.instance: "Instance | None" = None
+        # progress state for the current workunit (reference seconds)
+        self._cost = 0.0
+        self._chunk = 0.0  #: checkpoint granularity = one starting position
+        self._done = 0.0  #: committed + in-memory progress
+        self._checkpointed = 0.0  #: progress safe on disk
+        self._active_s = 0.0  #: accounted active wall-clock so far
+        self.results_returned = 0
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin operating (called at the host's project-join time)."""
+        self._when_available(self._fetch_work)
+
+    def _when_available(self, action) -> None:
+        """Run ``action`` now if the host is available, else at the next
+        availability start (agents only act while the device computes)."""
+        t = self.sim.now
+        if self.spec.trace.is_available(t):
+            action()
+            return
+        nxt = self.spec.trace.next_transition(t)
+        if nxt is not None:
+            self.sim.schedule_at(nxt, lambda: self._when_available(action))
+        # else: the host never computes again; it falls silent.
+
+    # -- work fetching -----------------------------------------------------
+
+    def _fetch_work(self) -> None:
+        if self.server.all_done:
+            return
+        instance = self.server.request_work(self.spec.host_id)
+        if instance is None:
+            poll = float(self.rng.exponential(WORK_POLL_HOURS * SECONDS_PER_HOUR))
+            self.sim.schedule(max(poll, 600.0), lambda: self._when_available(self._fetch_work))
+            return
+        self.instance = instance
+        wu = instance.wu
+        self._cost = wu.cost_reference_s
+        self._chunk = wu.cost_reference_s / wu.nsep
+        self._done = 0.0
+        self._checkpointed = 0.0
+        self._active_s = 0.0
+        if self.rng.random() < self.spec.abandon_prob:
+            # Volunteer walks away; the deadline will reclaim the copy and
+            # this agent only comes back after it has passed.
+            self.instance = None
+            self.sim.schedule(
+                self.server.config.deadline_s * 1.5,
+                lambda: self._when_available(self._fetch_work),
+            )
+            return
+        self._compute_step()
+
+    # -- computing ---------------------------------------------------------
+
+    def _compute_step(self) -> None:
+        """Crunch within the current availability interval."""
+        t = self.sim.now
+        trace = self.spec.trace
+        if not trace.is_available(t):
+            self._when_available(self._compute_step)
+            return
+        interval_end = trace.next_transition(t)
+        rate = self.spec.progress_rate
+        needed_s = (self._cost - self._done) / rate
+        if interval_end is None or t + needed_s <= interval_end:
+            self.sim.schedule(needed_s, self._complete)
+            return
+        span = interval_end - t
+        self.sim.schedule_at(interval_end, self._interrupt, span)
+
+    def _interrupt(self, active_span: float) -> None:
+        """Availability ended mid-workunit: suspend or kill."""
+        self._active_s += active_span
+        self._done += active_span * self.spec.progress_rate
+        # Checkpoints commit at starting-position boundaries.
+        self._checkpointed = np.floor(self._done / self._chunk) * self._chunk
+        if self.rng.random() < KILL_PROBABILITY:
+            # Killed: in-memory progress since the last checkpoint is lost.
+            self._done = self._checkpointed
+        self._when_available(self._compute_step)
+
+    def _complete(self) -> None:
+        instance = self.instance
+        if instance is None:
+            raise RuntimeError("completion without an active instance")
+        rate = self.spec.progress_rate
+        self._active_s += (self._cost - self._done) / rate
+        self._done = self._cost
+        valid = bool(self.rng.random() < self.spec.reliability)
+        active_s = self._active_s
+        self.instance = None
+        self.telemetry.record_workunit_run(
+            self.sim.now, active_s, instance.wu.cost_reference_s
+        )
+        delay = float(self.rng.exponential(self.spec.report_delay_mean_s))
+        self.sim.schedule(delay, self._report, instance, valid, active_s)
+
+    def _report(self, instance: "Instance", valid: bool, active_s: float) -> None:
+        accounted = accounted_seconds(self.spec, active_s, self.accounting)
+        credit = claimed_credit(self.spec, active_s, self.accounting, self.benchmark)
+        self.server.on_result(instance, valid, accounted)
+        self.telemetry.record_result(self.sim.now, accounted)
+        self.telemetry.record_credit(credit)
+        self.results_returned += 1
+        self._when_available(self._fetch_work)

@@ -1,0 +1,154 @@
+"""Workunit input bundles.
+
+"The data needed for the MAXDo program is small: the 2 proteins files +
+program + parameters (no more than 2 Mo)" (Section 4.1).  A bundle is a
+directory with exactly those four pieces:
+
+    wu_<id>/
+      receptor.rpm     reduced receptor (repro.proteins.io format)
+      ligand.rpm       reduced ligand
+      params.txt       isep slice + orientation grid + checksums
+      program.bin      placeholder for the (screensaver-wrapped) program
+
+``pack_workunit``/``unpack_workunit`` round-trip a workunit through this
+bundle, enforcing the grid's 2 MB constraint, and ``run_from_bundle``
+executes it with the MAXDo engine — the full volunteer-side path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from .. import constants
+from ..core.workunit import WorkUnit
+from ..maxdo.docking import MaxDoRun
+from ..proteins.io import read_protein, write_protein
+from ..proteins.model import ReducedProtein
+
+__all__ = ["WorkUnitBundle", "pack_workunit", "unpack_workunit", "run_from_bundle"]
+
+#: Size of the placeholder program binary.  The real MAXDo screensaver
+#: build is on the order of a megabyte; the constant keeps bundle sizes
+#: honest against the 2 MB budget.
+PROGRAM_BYTES = 1_200_000
+
+
+@dataclass(frozen=True)
+class WorkUnitBundle:
+    """An unpacked workunit input bundle."""
+
+    directory: Path
+    workunit: WorkUnit
+    receptor: ReducedProtein
+    ligand: ReducedProtein
+    total_nsep: int
+    n_couples: int
+    n_gamma: int
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(f.stat().st_size for f in self.directory.iterdir())
+
+
+def _params_text(wu: WorkUnit, total_nsep: int, n_couples: int, n_gamma: int) -> str:
+    return "\n".join([
+        "# MAXDo workunit parameters",
+        f"WU_ID      {wu.wu_id}",
+        f"ISEP_START {wu.isep_start}",
+        f"NSEP       {wu.nsep}",
+        f"TOTAL_NSEP {total_nsep}",
+        f"N_COUPLES  {n_couples}",
+        f"N_GAMMA    {n_gamma}",
+        f"COST_REF_S {wu.cost_reference_s:.3f}",
+        "",
+    ])
+
+
+def pack_workunit(
+    directory: Path | str,
+    wu: WorkUnit,
+    receptor: ReducedProtein,
+    ligand: ReducedProtein,
+    total_nsep: int,
+    n_couples: int = constants.N_ROT_COUPLES,
+    n_gamma: int = constants.N_GAMMA,
+    program_bytes: int = PROGRAM_BYTES,
+) -> Path:
+    """Write the input bundle for ``wu``; returns the bundle directory.
+
+    Raises ``ValueError`` if the bundle would exceed the grid's 2 MB
+    workunit budget (Section 3.2's data constraint).
+    """
+    directory = Path(directory) / f"wu_{wu.wu_id:08d}"
+    directory.mkdir(parents=True, exist_ok=True)
+    size = write_protein(directory / "receptor.rpm", receptor)
+    size += write_protein(directory / "ligand.rpm", ligand)
+    params = _params_text(wu, total_nsep, n_couples, n_gamma)
+    (directory / "params.txt").write_text(params, encoding="ascii")
+    size += len(params)
+    (directory / "program.bin").write_bytes(b"\0" * program_bytes)
+    size += program_bytes
+    if size > constants.MAX_WORKUNIT_INPUT_BYTES:
+        raise ValueError(
+            f"bundle {directory.name} is {size} bytes, over the "
+            f"{constants.MAX_WORKUNIT_INPUT_BYTES} byte grid budget"
+        )
+    return directory
+
+
+def unpack_workunit(directory: Path | str) -> WorkUnitBundle:
+    """Parse a bundle back into its pieces (the agent-side view)."""
+    directory = Path(directory)
+    receptor = read_protein(directory / "receptor.rpm")
+    ligand = read_protein(directory / "ligand.rpm")
+    fields: dict[str, str] = {}
+    for line in (directory / "params.txt").read_text(encoding="ascii").splitlines():
+        if line.startswith("#") or not line.strip():
+            continue
+        key, value = line.split(maxsplit=1)
+        fields[key] = value
+    try:
+        wu = WorkUnit(
+            wu_id=int(fields["WU_ID"]),
+            receptor=-1,  # library indices are server-side knowledge
+            ligand=-1,
+            isep_start=int(fields["ISEP_START"]),
+            nsep=int(fields["NSEP"]),
+            cost_reference_s=float(fields["COST_REF_S"]),
+        )
+        total_nsep = int(fields["TOTAL_NSEP"])
+        n_couples = int(fields["N_COUPLES"])
+        n_gamma = int(fields["N_GAMMA"])
+    except KeyError as exc:
+        raise ValueError(f"params.txt missing field {exc}") from None
+    return WorkUnitBundle(
+        directory=directory,
+        workunit=wu,
+        receptor=receptor,
+        ligand=ligand,
+        total_nsep=total_nsep,
+        n_couples=n_couples,
+        n_gamma=n_gamma,
+    )
+
+
+def run_from_bundle(
+    bundle: WorkUnitBundle,
+    workdir: Path | str,
+    minimize: bool = True,
+    max_iterations: int = 30,
+) -> MaxDoRun:
+    """Instantiate the MAXDo engine from an unpacked bundle."""
+    return MaxDoRun(
+        bundle.receptor,
+        bundle.ligand,
+        isep_start=bundle.workunit.isep_start,
+        nsep=bundle.workunit.nsep,
+        total_nsep=bundle.total_nsep,
+        workdir=workdir,
+        n_couples=bundle.n_couples,
+        n_gamma=bundle.n_gamma,
+        minimize=minimize,
+        max_iterations=max_iterations,
+    )

@@ -1,0 +1,240 @@
+"""Grid server: workunit database, scheduling, deadlines, reissue.
+
+The server owns the campaign's workunits, released receptor batch by
+receptor batch in least-cost-first order (Section 5.1).  Per workunit it
+tracks issued instances, applies the validation policy on incoming results,
+reissues after deadline misses or invalid results, and fires callbacks when
+workunits and receptor batches complete.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..core.workunit import WorkUnit
+from ..grid.des import Event, Simulator
+from ..units import days
+from .validator import AdaptiveReplication, ValidationPolicy, ValidationStats
+
+__all__ = ["ServerConfig", "Instance", "GridServer"]
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Server-side policy knobs."""
+
+    #: instance deadline: unreported copies are reissued after this long
+    deadline_s: float = days(10.0)
+    #: validation regime switch
+    validation: ValidationPolicy = field(
+        default_factory=lambda: ValidationPolicy(switch_time=days(7 * 12))
+    )
+    #: BOINC-style adaptive replication (None = phase-I fixed policy)
+    adaptive: AdaptiveReplication | None = None
+
+
+@dataclass
+class Instance:
+    """One issued copy of a workunit."""
+
+    wu: WorkUnit
+    host_id: int
+    issued_at: float
+    timeout_event: Event | None = None
+    reported: bool = False
+
+    def cancel_timeout(self) -> None:
+        if self.timeout_event is not None:
+            self.timeout_event.cancel()
+            self.timeout_event = None
+
+
+class _WorkunitState:
+    """Server-side bookkeeping for one workunit."""
+
+    __slots__ = ("wu", "batch", "n_valid", "done", "outstanding", "trusted_single")
+
+    def __init__(self, wu: WorkUnit, batch: int) -> None:
+        self.wu = wu
+        self.batch = batch
+        self.n_valid = 0
+        self.done = False
+        self.outstanding = 0  #: live (unreported, un-timed-out) instances
+        #: adaptive replication issued this workunit as a single trusted copy
+        self.trusted_single = False
+
+
+class GridServer:
+    """The workunit database and scheduler.
+
+    ``workunits`` must arrive in release order with their receptor-batch
+    index; batches complete when every one of their workunits is validated
+    (that is when results ship to the storage server in France).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        workunits: list[tuple[WorkUnit, int]],
+        config: ServerConfig | None = None,
+        on_workunit_valid: Callable[[WorkUnit, float], None] | None = None,
+        on_batch_complete: Callable[[int, float], None] | None = None,
+    ) -> None:
+        self.sim = sim
+        self.config = config if config is not None else ServerConfig()
+        self.stats = ValidationStats()
+        self._on_workunit_valid = on_workunit_valid
+        self._on_batch_complete = on_batch_complete
+
+        self._states: list[_WorkunitState] = [
+            _WorkunitState(wu, batch) for wu, batch in workunits
+        ]
+        for pos, state in enumerate(self._states):
+            if state.wu.wu_id != pos:
+                raise ValueError(
+                    "workunit ids must equal their release position "
+                    f"(got id {state.wu.wu_id} at position {pos})"
+                )
+        self._fresh = 0  #: index of the next never-issued workunit
+        self._reissue: deque[_WorkunitState] = deque()
+        self._batch_remaining: dict[int, int] = {}
+        for state in self._states:
+            self._batch_remaining[state.batch] = (
+                self._batch_remaining.get(state.batch, 0) + 1
+            )
+        self.completion_time: float | None = None
+        self.batch_completion: dict[int, float] = {}
+
+    # -- scheduling --------------------------------------------------------
+
+    @property
+    def n_workunits(self) -> int:
+        return len(self._states)
+
+    @property
+    def n_validated(self) -> int:
+        return self.stats.effective
+
+    @property
+    def all_done(self) -> bool:
+        return self.completion_time is not None
+
+    def request_work(self, host_id: int) -> Instance | None:
+        """Hand one workunit instance to a requesting agent.
+
+        Reissues take priority over fresh work (a timed-out workunit blocks
+        its receptor batch); fresh workunits go out in release order, with
+        the initial replication the validation policy demands — unless
+        adaptive replication trusts the requesting host, in which case a
+        single copy suffices.
+        """
+        state = self._next_state(host_id)
+        if state is None:
+            return None
+        instance = Instance(wu=state.wu, host_id=host_id, issued_at=self.sim.now)
+        state.outstanding += 1
+        instance.timeout_event = self.sim.schedule(
+            self.config.deadline_s, self._on_timeout, state, instance
+        )
+        return instance
+
+    def _next_state(self, host_id: int) -> _WorkunitState | None:
+        while self._reissue:
+            state = self._reissue[0]
+            if state.done:
+                self._reissue.popleft()
+                continue
+            return self._reissue.popleft()
+        while self._fresh < len(self._states):
+            state = self._states[self._fresh]
+            if state.done:
+                self._fresh += 1
+                continue
+            # Initial replication: queue the extra copies for the next
+            # requesters, advance past this workunit.
+            replication = self.config.validation.replication_at(self.sim.now)
+            adaptive = self.config.adaptive
+            if (
+                replication > 1
+                and adaptive is not None
+                and not adaptive.needs_partner(host_id)
+            ):
+                replication = 1
+                state.trusted_single = True
+            for _ in range(replication - 1):
+                self._reissue.append(state)
+            self._fresh += 1
+            return state
+        return None
+
+    def _on_timeout(self, state: _WorkunitState, instance: Instance) -> None:
+        """Deadline passed without a report: reclaim and reissue."""
+        if instance.reported:
+            return
+        instance.timeout_event = None
+        state.outstanding -= 1
+        if not state.done:
+            self._reissue.append(state)
+
+    # -- results -----------------------------------------------------------
+
+    def on_result(
+        self, instance: Instance, valid: bool, accounted_cpu_s: float
+    ) -> None:
+        """An agent reports a result (possibly after its deadline)."""
+        if instance.reported:
+            raise RuntimeError("instance reported twice")
+        instance.reported = True
+        instance.cancel_timeout()
+        state = self._state_of(instance.wu)
+        state.outstanding = max(0, state.outstanding - 1)
+        self.stats.record_result(accounted_cpu_s)
+
+        adaptive = self.config.adaptive
+        if state.done:
+            self.stats.late += 1
+            return
+        if not valid:
+            self.stats.invalid += 1
+            if adaptive is not None:
+                adaptive.record_invalid(instance.host_id)
+            self._reissue.append(state)
+            return
+
+        if adaptive is not None:
+            adaptive.record_valid(instance.host_id)
+        quorum = self.config.validation.quorum_at(self.sim.now)
+        if state.trusted_single:
+            quorum = 1
+        state.n_valid += 1
+        if state.n_valid >= quorum:
+            if state.trusted_single:
+                regime = "adaptive"
+            else:
+                regime = "quorum" if quorum >= 2 else "bounds"
+            self.stats.quorum_extra += state.n_valid - 1
+            self._validate(state, regime)
+        elif state.outstanding == 0:
+            # Waiting for a quorum partner nobody is computing: reissue.
+            self._reissue.append(state)
+
+    def _state_of(self, wu: WorkUnit) -> _WorkunitState:
+        state = self._states[wu.wu_id]
+        if state.wu.wu_id != wu.wu_id:
+            raise KeyError(f"unknown workunit {wu.wu_id}")
+        return state
+
+    def _validate(self, state: _WorkunitState, regime: str) -> None:
+        state.done = True
+        self.stats.record_validation(state.wu.cost_reference_s, regime)
+        if self._on_workunit_valid is not None:
+            self._on_workunit_valid(state.wu, self.sim.now)
+        self._batch_remaining[state.batch] -= 1
+        if self._batch_remaining[state.batch] == 0:
+            self.batch_completion[state.batch] = self.sim.now
+            if self._on_batch_complete is not None:
+                self._on_batch_complete(state.batch, self.sim.now)
+        if self.stats.effective == len(self._states):
+            self.completion_time = self.sim.now

@@ -1,0 +1,441 @@
+"""Volunteer-grid campaign orchestration.
+
+Wires the grid server, the volunteer agents and the telemetry together and
+runs a (scaled) HCMD-like campaign end to end:
+
+* workunits are materialized in release order (least-cost receptor batches
+  first, Section 5.1) from a :class:`repro.core.packaging.WorkUnitPlan`;
+* hosts join over time following the HCMD share schedule (control period,
+  prioritization ramp, full-power phase) applied to the WCG growth trend;
+* daily telemetry records consumed CPU (VFTP series, Figure 6a), result
+  arrivals (Figure 6b), per-workunit device run times (Figure 8) and
+  receptor-batch completions (Figure 7);
+* the final :class:`repro.core.metrics.CampaignMetrics` feeds the Table 2
+  equivalence.
+
+Real WCG scale (1.4M workunits, tens of thousands of hosts) is out of
+laptop reach; campaigns run at a configurable ``scale`` — the protein set
+and per-protein position counts shrink — and report scale-corrected
+aggregates next to raw ones.  Scale-independent quantities (redundancy
+factor, speed-down, useful-result fraction, completion shape) are the
+reproduction targets; the fluid model (:mod:`repro.fluid`) provides the
+full-scale absolute numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from .. import constants
+from ..core.campaign import CampaignPlan
+from ..core.metrics import CampaignMetrics
+from ..core.packaging import PackagingPolicy, WorkUnitPlan
+from ..core.workunit import WorkUnit
+from ..grid.des import Simulator
+from ..grid.host import HostPopulationModel
+from ..grid.population import ShareSchedule, WCGPopulationModel, hcmd_share_schedule
+from ..maxdo.cost_model import CostModel
+from ..proteins.library import ProteinLibrary
+from ..rng import substream
+from ..units import SECONDS_PER_DAY, SECONDS_PER_WEEK, weeks
+from .agent import VolunteerAgent
+from .credit import AccountingMode
+from .server import GridServer, ServerConfig
+from .validator import ValidationPolicy
+
+__all__ = ["Telemetry", "CampaignResult", "VolunteerGridSimulation", "scaled_phase1"]
+
+
+class Telemetry:
+    """Daily-bucketed campaign telemetry."""
+
+    def __init__(self, horizon_s: float) -> None:
+        self.horizon_s = horizon_s
+        n_days = int(np.ceil(horizon_s / SECONDS_PER_DAY)) + 1
+        self.daily_cpu_s = np.zeros(n_days)
+        self.daily_results = np.zeros(n_days, dtype=np.int64)
+        self.daily_useful = np.zeros(n_days, dtype=np.int64)
+        self.run_active_s: list[float] = []
+        self.run_reference_s: list[float] = []
+        self.total_claimed_credit = 0.0
+        #: (time, bytes) per receptor batch shipped to the storage server
+        self.shipments: list[tuple[float, int]] = []
+
+    def _day(self, t: float) -> int:
+        return min(int(t / SECONDS_PER_DAY), len(self.daily_cpu_s) - 1)
+
+    def record_result(self, t: float, accounted_cpu_s: float) -> None:
+        day = self._day(t)
+        self.daily_results[day] += 1
+        self.daily_cpu_s[day] += accounted_cpu_s
+
+    def record_validation(self, t: float) -> None:
+        self.daily_useful[self._day(t)] += 1
+
+    def record_credit(self, points: float) -> None:
+        self.total_claimed_credit += points
+
+    def record_shipment(self, t: float, n_bytes: int) -> None:
+        """A completed receptor batch shipped to the storage server."""
+        self.shipments.append((t, n_bytes))
+
+    def record_workunit_run(
+        self, t: float, active_s: float, reference_s: float
+    ) -> None:
+        self.run_active_s.append(active_s)
+        self.run_reference_s.append(reference_s)
+
+    def weekly_vftp(self) -> np.ndarray:
+        """Average VFTP per project week (the Figure 6a series)."""
+        n_weeks = len(self.daily_cpu_s) // 7
+        daily_vftp = self.daily_cpu_s[: n_weeks * 7] / SECONDS_PER_DAY
+        return daily_vftp.reshape(n_weeks, 7).mean(axis=1)
+
+    def weekly_results(self) -> tuple[np.ndarray, np.ndarray]:
+        """Results per week: (all disclosed, useful) — Figure 6b."""
+        n_weeks = len(self.daily_results) // 7
+        disclosed = self.daily_results[: n_weeks * 7].reshape(n_weeks, 7).sum(axis=1)
+        useful = self.daily_useful[: n_weeks * 7].reshape(n_weeks, 7).sum(axis=1)
+        return disclosed, useful
+
+
+@dataclass
+class CampaignResult:
+    """Everything a finished (or horizon-capped) campaign produced."""
+
+    telemetry: Telemetry
+    server: GridServer
+    completion_time: float | None
+    horizon_s: float
+    scale: float
+    n_hosts: int
+    #: receptor library indices in release order
+    release_order: np.ndarray
+    #: completion time of each receptor batch (by release position), NaN if
+    #: incomplete
+    batch_completion_s: np.ndarray
+
+    @property
+    def span_s(self) -> float:
+        """Campaign span: completion if reached, else the horizon."""
+        return self.completion_time if self.completion_time is not None else self.horizon_s
+
+    @property
+    def completion_weeks(self) -> float | None:
+        if self.completion_time is None:
+            return None
+        return self.completion_time / SECONDS_PER_WEEK
+
+    def metrics(self) -> CampaignMetrics:
+        stats = self.server.stats
+        return CampaignMetrics(
+            span_seconds=self.span_s,
+            consumed_cpu_s=stats.consumed_cpu_s,
+            useful_reference_cpu_s=stats.useful_reference_s,
+            results_disclosed=stats.disclosed,
+            results_effective=stats.effective,
+        )
+
+    def mean_device_run_hours(self) -> float:
+        """Average device-side run time per result (paper: ~13 h)."""
+        runs = np.asarray(self.telemetry.run_active_s)
+        if runs.size == 0:
+            raise ValueError("no workunit completed")
+        return float(runs.mean()) / 3600.0
+
+    def vftp_from_credit(self) -> float:
+        """The Section 8 points-based VFTP estimate for this campaign."""
+        from .credit import vftp_from_credit
+
+        return vftp_from_credit(self.telemetry.total_claimed_credit, self.span_s)
+
+    def vftp_from_useful_work(self) -> float:
+        """Ground truth: reference work delivered per wall-clock second —
+        what the points estimator is supposed to approximate."""
+        return self.server.stats.useful_reference_s / self.span_s
+
+    def shipped_bytes_total(self) -> int:
+        """Result volume shipped to the storage server so far (§5.2)."""
+        return sum(b for _, b in self.telemetry.shipments)
+
+    def shipment_curve(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times_s, cumulative_bytes) of the storage-server deliveries."""
+        if not self.telemetry.shipments:
+            return np.empty(0), np.empty(0, dtype=np.int64)
+        ordered = sorted(self.telemetry.shipments)
+        times = np.array([t for t, _ in ordered])
+        sizes = np.cumsum([b for _, b in ordered])
+        return times, sizes
+
+    def export(self, directory) -> list:
+        """Dump the campaign telemetry as CSV/JSON artifacts.
+
+        Writes daily series, weekly aggregates, the per-result run times
+        and the final metrics into ``directory``; returns the paths.
+        """
+        from pathlib import Path
+
+        from ..analysis.export import export_json, export_series_csv
+
+        directory = Path(directory)
+        t = self.telemetry
+        n_days = len(t.daily_cpu_s)
+        paths = [
+            export_series_csv(
+                directory / "daily.csv",
+                {
+                    "day": np.arange(n_days),
+                    "cpu_seconds": t.daily_cpu_s,
+                    "results": t.daily_results,
+                    "useful": t.daily_useful,
+                },
+            ),
+            export_series_csv(
+                directory / "workunit_runs.csv",
+                {
+                    "active_seconds": np.asarray(t.run_active_s),
+                    "reference_seconds": np.asarray(t.run_reference_s),
+                },
+            ),
+        ]
+        m = self.metrics()
+        paths.append(
+            export_json(
+                directory / "metrics.json",
+                {
+                    "completion_weeks": self.completion_weeks,
+                    "n_hosts": self.n_hosts,
+                    "scale": self.scale,
+                    "vftp": m.vftp,
+                    "redundancy": m.redundancy,
+                    "useful_result_fraction": m.useful_result_fraction,
+                    "speed_down_raw": m.speed_down_raw,
+                    "speed_down_net": m.speed_down_net,
+                    "shipped_bytes": self.shipped_bytes_total(),
+                },
+                experiment="scaled phase-I campaign",
+            )
+        )
+        return paths
+
+
+class VolunteerGridSimulation:
+    """A configurable volunteer-grid campaign."""
+
+    def __init__(
+        self,
+        library: ProteinLibrary,
+        cost_model: CostModel,
+        packaging: PackagingPolicy | None = None,
+        host_model: HostPopulationModel | None = None,
+        share_schedule: ShareSchedule | None = None,
+        population: WCGPopulationModel | None = None,
+        server_config: ServerConfig | None = None,
+        n_hosts_peak: int | None = None,
+        horizon_weeks: float = 40.0,
+        scale: float = 1.0,
+        seed: int = constants.DEFAULT_SEED,
+        accounting: "AccountingMode | None" = None,
+        release_policy: str = "least-cost",
+    ) -> None:
+        self.library = library
+        self.cost_model = cost_model
+        self.packaging = packaging if packaging is not None else PackagingPolicy(
+            target_hours=3.65
+        )
+        self.horizon_s = weeks(horizon_weeks)
+        self.scale = scale
+        self.seed = seed
+        self.share_schedule = (
+            share_schedule if share_schedule is not None else hcmd_share_schedule()
+        )
+        self.population = (
+            population if population is not None else WCGPopulationModel.calibrated()
+        )
+        self.host_model = (
+            host_model
+            if host_model is not None
+            else HostPopulationModel(seed=seed, horizon=self.horizon_s)
+        )
+        self.server_config = (
+            server_config
+            if server_config is not None
+            else ServerConfig(
+                # The value-range validation method replaced quorum
+                # comparison mid-campaign; week 16 reproduces the overall
+                # 1.37 redundancy factor for a 26-week campaign.
+                validation=ValidationPolicy(switch_time=weeks(16.0))
+            )
+        )
+
+        #: phase I ran on the UD agent (wall-clock accounting); pass
+        #: ``AccountingMode.BOINC_CPU_TIME`` for a phase-II-style campaign.
+        self.accounting = (
+            accounting if accounting is not None else AccountingMode.UD_WALL_CLOCK
+        )
+        self.plan = WorkUnitPlan(cost_model, self.packaging)
+        self.campaign = CampaignPlan(library, cost_model, policy=release_policy)
+        if n_hosts_peak is None:
+            n_hosts_peak = self._auto_host_count()
+        self.n_hosts_peak = n_hosts_peak
+
+    # -- sizing ------------------------------------------------------------
+
+    def _auto_host_count(self) -> int:
+        """Peak host count so the campaign finishes in ~26 weeks.
+
+        Weekly useful capacity of one peak-share host ~ (availability x
+        week-seconds) / net-speed-down; the share schedule scales the host
+        count per week.
+        """
+        profile = self.host_model.profile
+        availability = profile.mean_on_hours / (
+            profile.mean_on_hours + profile.mean_off_hours
+        )
+        net_speed_down = profile.expected_net_speed_down(n=20_000)
+        weekly_capacity = availability * SECONDS_PER_WEEK / net_speed_down
+        shares = np.asarray(
+            self.share_schedule.share(np.arange(constants.PROJECT_DURATION_WEEKS) + 0.5)
+        )
+        share_weeks = float(shares.sum() / self.share_schedule.full_share)
+        # Margin over the bare work: quorum/invalid redundancy (~1.3x),
+        # checkpoint-kill losses, report/poll dead time, and the straggler
+        # tail of the last batches (deadline-bound reissues).
+        total = self.campaign.total_work * 2.4
+        return max(4, int(np.ceil(total / (weekly_capacity * share_weeks))))
+
+    def _host_arrival_times(self) -> np.ndarray:
+        """Join times implementing share(t) x growth(t) host counts."""
+        n_weeks = int(np.ceil(self.horizon_s / SECONDS_PER_WEEK))
+        week_idx = np.arange(n_weeks, dtype=np.float64)
+        shares = np.asarray(self.share_schedule.share(week_idx + 0.5))
+        day0 = constants.WCG_LAUNCH_TO_HCMD_DAYS
+        growth = np.asarray(
+            self.population.trend(day0 + 7.0 * (week_idx + 0.5))
+        )
+        project_end_week = float(constants.PROJECT_DURATION_WEEKS)
+        ref = self.share_schedule.full_share * float(
+            self.population.trend(day0 + 7.0 * project_end_week)
+        )
+        target = np.maximum(
+            1, np.round(self.n_hosts_peak * shares * growth / ref).astype(np.int64)
+        )
+        target = np.maximum.accumulate(target)  # hosts never leave
+        arrivals: list[float] = []
+        current = 0
+        rng = substream(self.seed, "host-arrivals", 0)
+        for w in range(n_weeks):
+            new = int(target[w] - current)
+            if new > 0:
+                times = w * SECONDS_PER_WEEK + rng.random(new) * SECONDS_PER_WEEK
+                arrivals.extend(float(t) for t in np.sort(times))
+                current = int(target[w])
+        return np.asarray(arrivals)
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Run the campaign to completion (or the horizon)."""
+        sim = Simulator()
+        telemetry = Telemetry(self.horizon_s)
+
+        ordered_couples = self.campaign.ordered_couples()
+        n = len(self.library)
+        workunits: list[tuple[WorkUnit, int]] = []
+        wu_id = 0
+        for pos, couple in enumerate(ordered_couples):
+            batch = pos // n
+            for wu in self.plan.iter_workunits([couple], id_start=wu_id):
+                workunits.append((wu, batch))
+                wu_id += 1
+
+        # Result volume shipped when a receptor batch completes ("when one
+        # protein has been docked with the 168 others", Section 5.2): one
+        # line per (position, orientation couple) against every ligand.
+        from ..maxdo.resultfile import BYTES_PER_LINE
+
+        batch_bytes = [
+            int(self.library.nsep[int(r)]) * n * constants.N_ROT_COUPLES
+            * BYTES_PER_LINE
+            for r in self.campaign.release_order
+        ]
+
+        server = GridServer(
+            sim,
+            workunits,
+            config=self.server_config,
+            on_workunit_valid=lambda wu, t: telemetry.record_validation(t),
+            on_batch_complete=lambda batch, t: telemetry.record_shipment(
+                t, batch_bytes[batch]
+            ),
+        )
+
+        arrivals = self._host_arrival_times()
+        agents: list[VolunteerAgent] = []
+        for idx, join_t in enumerate(arrivals):
+            spec = self.host_model.spec(idx, join_time=float(join_t))
+            agent = VolunteerAgent(
+                sim,
+                server,
+                spec,
+                telemetry,
+                rng=substream(self.seed, "agent", idx),
+                accounting=self.accounting,
+            )
+            agents.append(agent)
+            sim.schedule_at(float(join_t), agent.start)
+
+        sim.run(until=self.horizon_s)
+
+        n_batches = len(self.library)
+        batch_completion = np.full(n_batches, np.nan)
+        for batch, t in server.batch_completion.items():
+            batch_completion[batch] = t
+        return CampaignResult(
+            telemetry=telemetry,
+            server=server,
+            completion_time=server.completion_time,
+            horizon_s=self.horizon_s,
+            scale=self.scale,
+            n_hosts=len(agents),
+            release_order=self.campaign.release_order.copy(),
+            batch_completion_s=batch_completion,
+        )
+
+
+def scaled_phase1(
+    scale: float = 200.0,
+    n_proteins: int = 24,
+    seed: int = constants.DEFAULT_SEED,
+    target_hours: float = 3.65,
+    horizon_weeks: float = 40.0,
+    **kwargs,
+) -> VolunteerGridSimulation:
+    """A phase-I-like campaign shrunk by ``scale``.
+
+    ``n_proteins`` proteins keep the phase-1 per-protein statistics; the
+    per-protein position counts are divided by ``scale``; packaging uses
+    the deployed ~3.3 h workunits.  The default configuration yields a few
+    thousand workunits — minutes of simulation — while preserving the
+    scale-free observables (redundancy, speed-down, useful fraction,
+    three-phase shape).
+    """
+    sum_nsep = max(
+        n_proteins,
+        round(constants.SUM_NSEP * n_proteins / constants.N_PROTEINS / scale),
+    )
+    library = ProteinLibrary.synthetic(
+        n_proteins=n_proteins, sum_nsep=sum_nsep, seed=seed
+    )
+    cost_model = CostModel.calibrated(library, seed=seed)
+    return VolunteerGridSimulation(
+        library,
+        cost_model,
+        packaging=PackagingPolicy(target_hours=target_hours),
+        horizon_weeks=horizon_weeks,
+        scale=scale,
+        seed=seed,
+        **kwargs,
+    )

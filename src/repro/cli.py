@@ -1,0 +1,291 @@
+"""Command-line interface.
+
+``repro-hcmd`` exposes the pipeline stages as subcommands::
+
+    repro-hcmd estimate                  # formula (1), Section 4.1
+    repro-hcmd package --hours 10        # workunit slicing, Section 4.2
+    repro-hcmd simulate --scale 200      # scaled volunteer campaign, Section 5
+    repro-hcmd compare                   # Table 2 equivalence, Section 6
+    repro-hcmd project --weeks 40        # phase-II projection, Section 7
+    repro-hcmd capacity --devices 836000 # server-capacity check, Section 3.2
+
+Every command prints plain-text tables via :mod:`repro.analysis.report`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from . import constants as C
+from .analysis.comparison import EquivalenceTable
+from .analysis.report import render_table
+from .boinc.capacity import ServerCapacityModel
+from .boinc.credit import AccountingMode
+from .core.projection import project_phase2
+from .units import format_bytes, format_duration, seconds_to_ydhms
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-hcmd",
+        description="HCMD phase I on a volunteer grid — reproduction toolkit",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=C.DEFAULT_SEED, help="calibration seed"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    est = sub.add_parser("estimate", help="formula (1) total-work estimate")
+    est.add_argument(
+        "--proteins", type=int, default=C.N_PROTEINS,
+        help="library size (default: the phase-I 168)",
+    )
+
+    pkg = sub.add_parser("package", help="slice the workload into workunits")
+    pkg.add_argument("--hours", type=float, default=10.0, help="target duration")
+    pkg.add_argument(
+        "--strategy", default="floor",
+        choices=("floor", "round", "merge-tail", "even"),
+    )
+
+    simu = sub.add_parser("simulate", help="run a scaled volunteer campaign")
+    simu.add_argument("--scale", type=float, default=200.0)
+    simu.add_argument("--proteins", type=int, default=16)
+    simu.add_argument(
+        "--accounting", default="ud", choices=[m.value for m in AccountingMode]
+    )
+
+    sub.add_parser("compare", help="Table 2: volunteer vs dedicated grid")
+
+    proj = sub.add_parser("project", help="phase-II projection (Table 3)")
+    proj.add_argument("--proteins", type=int, default=C.PHASE2_N_PROTEINS)
+    proj.add_argument(
+        "--reduction", type=float, default=C.PHASE2_POINT_REDUCTION,
+        help="docking-point reduction factor",
+    )
+    proj.add_argument("--weeks", type=float, default=float(C.PHASE2_WEEKS))
+
+    cap = sub.add_parser("capacity", help="server transaction-rate check")
+    cap.add_argument("--devices", type=float, default=float(C.WCG_DEVICES))
+    cap.add_argument("--hours", type=float, default=3.3, help="workunit target")
+
+    sub.add_parser(
+        "report", help="the whole reproduction, paper vs measured, one page"
+    )
+
+    part = sub.add_parser(
+        "partners", help="partner prediction from the cross-docking matrix"
+    )
+    part.add_argument("--proteins", type=int, default=C.N_PROTEINS)
+    part.add_argument("--top", type=int, default=5, help="partners per protein")
+
+    sites = sub.add_parser(
+        "sites", help="binding-site localization and focused docking"
+    )
+    sites.add_argument("--proteins", type=int, default=80)
+    sites.add_argument("--positions", type=int, default=300)
+    sites.add_argument(
+        "--keep", type=float, default=0.01,
+        help="fraction of docking points kept (phase II uses 0.01)",
+    )
+    return parser
+
+
+def _library_and_costs(n_proteins: int, seed: int):
+    from .maxdo.cost_model import CostModel
+    from .proteins.library import ProteinLibrary
+
+    if n_proteins == C.N_PROTEINS:
+        library = ProteinLibrary.phase1(seed=seed)
+    else:
+        library = ProteinLibrary.synthetic(n_proteins=n_proteins, seed=seed)
+    return library, CostModel.calibrated(library)
+
+
+def _cmd_estimate(args: argparse.Namespace) -> int:
+    from .core.estimation import estimate_total_work
+
+    library, cost_model = _library_and_costs(args.proteins, args.seed)
+    report = estimate_total_work(library, cost_model)
+    print(render_table(["quantity", "value"], [
+        ["proteins", report.n_proteins],
+        ["total reference CPU (y:d:h:m:s)", report.total_ydhms],
+        ["maximum workunits", report.max_workunits],
+        ["result dataset", format_bytes(report.result_bytes)],
+    ]))
+    return 0
+
+
+def _cmd_package(args: argparse.Namespace) -> int:
+    from .core.packaging import PackagingPolicy, WorkUnitPlan
+
+    _, cost_model = _library_and_costs(C.N_PROTEINS, args.seed)
+    plan = WorkUnitPlan(
+        cost_model, PackagingPolicy(target_hours=args.hours, strategy=args.strategy)
+    )
+    stats = plan.duration_stats()
+    print(render_table(["quantity", "value"], [
+        ["target duration", f"{args.hours:g} h ({args.strategy})"],
+        ["workunits", plan.total_workunits()],
+        ["mean duration", format_duration(stats["mean"])],
+        ["max duration", format_duration(stats["max"])],
+        ["total reference CPU", str(seconds_to_ydhms(plan.total_reference_cpu()))],
+    ]))
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .boinc.simulator import scaled_phase1
+
+    sim = scaled_phase1(
+        scale=args.scale,
+        n_proteins=args.proteins,
+        seed=args.seed,
+        accounting=AccountingMode(args.accounting),
+    )
+    result = sim.run()
+    metrics = result.metrics()
+    weeks = result.completion_weeks
+    print(render_table(["quantity", "value", "paper"], [
+        ["scale", f"1/{args.scale:g}", "-"],
+        ["hosts", result.n_hosts, "-"],
+        ["workunits", sim.plan.total_workunits(), "-"],
+        ["completion (weeks)", f"{weeks:.1f}" if weeks else "incomplete", "26"],
+        ["redundancy factor", f"{metrics.redundancy:.3f}", "1.37"],
+        ["useful result fraction", f"{metrics.useful_result_fraction:.3f}", "0.73"],
+        ["net speed-down", f"{metrics.speed_down_net:.2f}", "3.96"],
+        ["points-based VFTP / truth",
+         f"{result.vftp_from_credit() / result.vftp_from_useful_work():.2f}", "-"],
+    ]))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .core.campaign import CampaignPlan
+    from .core.packaging import PackagingPolicy, WorkUnitPlan
+    from .fluid import FluidCampaign
+
+    library, cost_model = _library_and_costs(C.N_PROTEINS, args.seed)
+    campaign = CampaignPlan(library, cost_model)
+    plan = WorkUnitPlan(cost_model, PackagingPolicy(3.65))
+    result = FluidCampaign(campaign, plan.duration_stats()["mean"]).run()
+    table = EquivalenceTable.from_metrics(
+        result.metrics(), result.metrics(first_week=13)
+    )
+    rows = table.rows()
+    print(render_table(["grid", "whole period", "full power phase"], [
+        ["World Community Grid (VFTP)", rows[0][1], rows[1][1]],
+        ["Dedicated Grid (processors)", rows[0][2], rows[1][2]],
+    ]))
+    print(f"\ncompletion: {result.completion_week:.1f} weeks "
+          f"(paper: 26); raw speed-down "
+          f"{table.whole_period.speed_down:.2f} (paper: 5.43)")
+    return 0
+
+
+def _cmd_project(args: argparse.Namespace) -> int:
+    proj = project_phase2(
+        n_proteins_new=args.proteins,
+        point_reduction=args.reduction,
+        phase2_weeks=args.weeks,
+    )
+    print(render_table(["", "phase I", "phase II"], [
+        [label, round(a), round(b)] for label, a, b in proj.rows()
+    ]))
+    print(f"\nweeks at phase-I rate: {proj.weeks_at_phase1_rate:.0f}; "
+          f"members at 25% grid share: {proj.members_needed(0.25):,.0f}")
+    return 0
+
+
+def _cmd_capacity(args: argparse.Namespace) -> int:
+    model = ServerCapacityModel()
+    device_s = args.hours * 3600 * C.SPEED_DOWN_NET
+    print(render_table(["quantity", "value"], [
+        ["devices", f"{args.devices:,.0f}"],
+        ["workunit target", f"{args.hours:g} reference hours"],
+        ["results per day", f"{model.results_per_day(args.devices, device_s):,.0f}"],
+        ["server utilization", f"{model.utilization(args.devices, device_s):.1%}"],
+        ["sustainable", "yes" if model.sustainable(args.devices, device_s) else "NO"],
+        ["minimum sustainable workunit",
+         f"{model.min_workunit_hours(args.devices, C.SPEED_DOWN_NET):.2f} h"],
+    ]))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .analysis.summary import full_report
+
+    print(full_report(seed=args.seed))
+    return 0
+
+
+def _cmd_partners(args: argparse.Namespace) -> int:
+    from .proteins.library import ProteinLibrary
+    from .science import CrossDockingMatrix, predict_partners, recovery_rate
+    from .science.partners import ranking_auc
+
+    library = (
+        ProteinLibrary.phase1(seed=args.seed)
+        if args.proteins == C.N_PROTEINS
+        else ProteinLibrary.synthetic(n_proteins=args.proteins, seed=args.seed)
+    )
+    matrix = CrossDockingMatrix.synthetic(library)
+    pred = predict_partners(matrix)
+    print(render_table(["quantity", "value"], [
+        ["proteins", matrix.n_proteins],
+        ["planted complexes", len(matrix.complexes)],
+        [f"top-1 recovery", f"{recovery_rate(pred, matrix.complexes, 1):.0%}"],
+        [f"top-{args.top} recovery",
+         f"{recovery_rate(pred, matrix.complexes, args.top):.0%}"],
+        ["ranking AUC", f"{ranking_auc(pred, matrix.complexes):.3f}"],
+    ]))
+    return 0
+
+
+def _cmd_sites(args: argparse.Namespace) -> int:
+    from .science import SiteMaps, predict_partners, recovery_rate
+
+    maps = SiteMaps.synthetic(
+        n_proteins=args.proteins, seed=args.seed, n_positions=args.positions
+    )
+    pruned = maps.pruned(keep_fraction=args.keep)
+    full_rec = recovery_rate(predict_partners(maps.to_matrix()), maps.complexes, 1)
+    pruned_rec = recovery_rate(
+        predict_partners(pruned.to_matrix()), maps.complexes, 1
+    )
+    print(render_table(["quantity", "value"], [
+        ["proteins / positions", f"{maps.n_proteins} / {maps.n_positions}"],
+        ["site recovery", f"{maps.site_recovery():.0%}"],
+        ["partner recovery (full grid)", f"{full_rec:.0%}"],
+        [f"partner recovery ({args.keep:.0%} of points)", f"{pruned_rec:.0%}"],
+        ["compute cost of focused search",
+         f"{maps.docking_cost_fraction(args.keep):.1%} of the full grid"],
+    ]))
+    return 0
+
+
+_COMMANDS = {
+    "estimate": _cmd_estimate,
+    "package": _cmd_package,
+    "simulate": _cmd_simulate,
+    "compare": _cmd_compare,
+    "project": _cmd_project,
+    "capacity": _cmd_capacity,
+    "report": _cmd_report,
+    "partners": _cmd_partners,
+    "sites": _cmd_sites,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

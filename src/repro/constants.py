@@ -1,0 +1,229 @@
+"""Paper constants and calibration targets for the HCMD phase-I reproduction.
+
+Every number quoted from the paper lives here (and only here) so that the
+benchmark harness can report *paper vs measured* side by side without magic
+numbers scattered through the code base.
+
+Sources are given as section/table/figure references into
+
+    Bertis, Bolze, Desprez, Reed.  "Large Scale Execution of a Bioinformatic
+    Application on a Volunteer Grid".  LIP RR-2007-49 / IPPS 2008.
+"""
+
+from __future__ import annotations
+
+from .units import SECONDS_PER_DAY, SECONDS_PER_WEEK, parse_ydhms
+
+# --------------------------------------------------------------------------
+# Section 2/4 — application shape
+# --------------------------------------------------------------------------
+
+#: Number of proteins in the phase-I target set (Section 2.1).
+N_PROTEINS = 168
+
+#: Number of (alpha, beta) starting-orientation couples per starting
+#: position (Section 2.1, footnote 1).  The packaging and estimation
+#: formulas of the paper count work in units of one starting position times
+#: all 21 orientation couples.
+N_ROT_COUPLES = 21
+
+#: Number of gamma values explored per (alpha, beta) couple (footnote 1):
+#: the "210 starting orientations" = 21 couples x 10 gamma values.
+N_GAMMA = 10
+
+#: Total starting orientations per starting position.
+N_ORIENTATIONS = N_ROT_COUPLES * N_GAMMA
+
+#: Maximum number of workunits the project can generate, i.e.
+#: sum over ordered couples (p1, p2) of Nsep(p1) (Section 4.1).
+TOTAL_MAX_WORKUNITS = 49_481_544
+
+#: Implied sum of Nsep over the 168 proteins (TOTAL_MAX_WORKUNITS / 168).
+SUM_NSEP = TOTAL_MAX_WORKUNITS // N_PROTEINS  # = 294_533
+
+#: Upper bound on per-workunit input data (program + 2 proteins + params),
+#: "no more than 2 Mo" (Section 4.1).
+MAX_WORKUNIT_INPUT_BYTES = 2 * 10**6
+
+# --------------------------------------------------------------------------
+# Section 4.1 / Table 1 — computing-time matrix on the reference processor
+# (dual Opteron 246 @ 2 GHz, Grid'5000)
+# --------------------------------------------------------------------------
+
+#: Statistics of the 168 x 168 computing-time matrix Mct, in seconds per
+#: starting position (all 21 orientation couples), Table 1.
+MCT_MEAN_S = 671.0
+MCT_STD_S = 968.04
+MCT_MIN_S = 6.0
+MCT_MAX_S = 46_347.0
+MCT_MEDIAN_S = 384.0
+
+#: "there are 10 proteins which represent 30% of the total processing time"
+TOP10_PROTEIN_TIME_SHARE = 0.30
+
+#: Total reference CPU time of phase I, "1,488:237:19:45:54 (y:d:h:m:s)".
+TOTAL_REFERENCE_CPU_S = float(parse_ydhms("1,488:237:19:45:54"))
+
+#: The 168^2 calibration run consumed "more than 73 days of cpu time" using
+#: 640 processors during one day (Section 4.1).
+CALIBRATION_CPU_DAYS = 73.0
+CALIBRATION_PROCESSORS = 640
+CALIBRATION_WALL_DAYS = 1.0
+
+#: Linearity of ct() in isep/irot was checked over 400 random couples with
+#: correlation ~0.99 (Section 4.1).
+LINEARITY_CHECK_COUPLES = 400
+LINEARITY_MIN_CORRELATION = 0.99
+
+# --------------------------------------------------------------------------
+# Section 4.2 / Figure 4 — workunit packaging
+# --------------------------------------------------------------------------
+
+#: Nominal target workunit duration ("ideally takes 10 hours", Section 3.2).
+TARGET_WU_HOURS_NOMINAL = 10.0
+
+#: Workunit counts of the two packaging examples of Figure 4.
+N_WORKUNITS_H10 = 1_364_476
+N_WORKUNITS_H4 = 3_599_937
+
+#: The deployed packaging produced workunits between 3 and 4 hours with an
+#: average of 3:18:47 on the reference processor (Section 6 / Figure 8).
+DEPLOYED_WU_MEAN_S = 3 * 3600 + 18 * 60 + 47
+DEPLOYED_WU_RANGE_S = (3 * 3600, 4 * 3600)
+
+# --------------------------------------------------------------------------
+# Section 5 — execution on World Community Grid
+# --------------------------------------------------------------------------
+
+#: Project start and end (Section 5, Conclusion): Dec 19 2006 -> Jun 11 2007.
+PROJECT_DURATION_WEEKS = 26
+
+#: Duration of the low-priority "control period" (~2 months, Section 5.1).
+CONTROL_PERIOD_WEEKS = 9
+
+#: Duration of the "project prioritization" ramp (Feb, Section 5.1).
+PRIORITIZATION_WEEKS = 4
+
+#: Duration of the "full power working phase" (~4 months; Table 3 uses 16
+#: weeks of full-power equivalent for phase I).
+FULL_POWER_WEEKS = PROJECT_DURATION_WEEKS - CONTROL_PERIOD_WEEKS - PRIORITIZATION_WEEKS
+
+#: Fraction of WCG devices working for HCMD at the end of February.
+PEAK_PROJECT_SHARE = 0.45
+
+#: Average number of virtual full-time processors over the whole project /
+#: over the full-power phase (Figure 6a, Table 2).
+HCMD_VFTP_WHOLE_PERIOD = 16_450
+HCMD_VFTP_FULL_POWER = 26_248
+
+#: Average VFTP available on all of WCG during the project (Section 5.1).
+WCG_VFTP_DURING_PROJECT = 54_947
+
+#: Result counts (Section 5.1): disclosed by WCG vs effective (useful).
+RESULTS_DISCLOSED = 5_418_010
+RESULTS_EFFECTIVE = 3_936_010
+
+#: Redundancy factor = disclosed / effective ~ 1.37 (Section 5.1).
+REDUNDANCY_FACTOR = 1.37
+
+#: "only 73% are useful results" (Figure 6b).
+USEFUL_RESULT_FRACTION = 0.73
+
+#: Total CPU time consumed on WCG: "8,082:275:17:15:44 (y:d:h:m:s)".
+TOTAL_WCG_CPU_S = float(parse_ydhms("8,082:275:17:15:44"))
+
+#: Raw speed-down of the volunteer grid vs the reference processor
+#: (Section 6): consumed / estimated = 5.43; 3.96 after removing redundancy.
+SPEED_DOWN_RAW = 5.43
+SPEED_DOWN_NET = 3.96
+
+#: Average per-result CPU time observed on WCG devices (~13 hours).
+WCG_RESULT_MEAN_S = 13 * 3600
+
+#: The UD agent throttles guest work at 60% of CPU by default (Section 6).
+UD_CPU_THROTTLE = 0.60
+
+#: Dataset volume (Section 5.2): 123 GB raw text, 45 GB compressed, 168^2
+#: result files.
+RESULT_DATA_BYTES = 123 * 1024**3
+RESULT_DATA_COMPRESSED_BYTES = 45 * 1024**3
+
+#: Progression anchor (Section 5.2): on 2007-05-02, 85% of the proteins were
+#: fully docked but that represented only 47% of the total computation.
+PROGRESSION_SNAPSHOT_PROTEIN_FRACTION = 0.85
+PROGRESSION_SNAPSHOT_WORK_FRACTION = 0.47
+
+# --------------------------------------------------------------------------
+# Table 2 — equivalence with a dedicated grid (Grid'5000 Opteron 2 GHz)
+# --------------------------------------------------------------------------
+
+DEDICATED_EQUIV_WHOLE_PERIOD = 3_029
+DEDICATED_EQUIV_FULL_POWER = 4_833
+
+#: In the week before writing, WCG received 1,435 years of run time =
+#: 74,825 VFTP, i.e. >= 18,895 dedicated Opteron equivalents (Section 6).
+WCG_WEEK_VFTP = 74_825
+WCG_WEEK_DEDICATED_EQUIV = 18_895
+
+# --------------------------------------------------------------------------
+# Table 3 / Section 7 — phase II projection
+# --------------------------------------------------------------------------
+
+PHASE1_CPU_S = 254_897_774_144.0
+PHASE2_CPU_S = 1_444_998_719_637.0
+PHASE1_WEEKS = 16
+PHASE2_WEEKS = 40
+PHASE1_VFTP = 26_341
+PHASE2_VFTP = 59_730
+PHASE1_MEMBERS = 132_490
+PHASE2_MEMBERS = 300_430
+
+#: Phase II: ~4,000 proteins, docking points reduced by a factor of 100.
+PHASE2_N_PROTEINS = 4_000
+PHASE2_POINT_REDUCTION = 100.0
+
+#: Work ratio phase II / phase I = 4000^2 / (168^2 * 100) (Section 7).
+PHASE2_WORK_RATIO = PHASE2_N_PROTEINS**2 / (N_PROTEINS**2 * PHASE2_POINT_REDUCTION)
+
+#: At phase-I behaviour, phase II would take ~90 weeks (Section 7).
+PHASE2_WEEKS_AT_PHASE1_RATE = 90
+
+#: WCG membership anchors (Sections 3.1 and 7).
+WCG_MEMBERS = 325_000
+WCG_MEMBERS_VFTP = 60_000
+WCG_DEVICES = 836_000
+WCG_MEMBERS_SUBSCRIBED = 344_000
+
+#: When phase II starts, HCMD is expected to get 25% of the grid; reaching
+#: 59,730 VFTP then requires ~1,300,000 members (~1,000,000 new volunteers).
+PHASE2_GRID_SHARE = 0.25
+PHASE2_MEMBERS_NEEDED = 1_300_000
+
+# --------------------------------------------------------------------------
+# Figure 1 — WCG virtual full-time processors since launch (Nov 16 2004)
+# --------------------------------------------------------------------------
+
+#: Days between WCG launch (2004-11-16) and the HCMD start (2006-12-19).
+WCG_LAUNCH_TO_HCMD_DAYS = 763
+
+#: Approximate VFTP at WCG launch and around the time the paper was written
+#: (Dec 2007), used to calibrate the growth model of Figure 1.
+WCG_VFTP_AT_LAUNCH = 2_000
+WCG_VFTP_DEC_2007 = 74_825
+
+#: Weekly dip: fewer processors during week-ends (Figure 1 discussion).
+WEEKEND_DIP_FRACTION = 0.08
+
+# --------------------------------------------------------------------------
+# Derived sanity anchors
+# --------------------------------------------------------------------------
+
+#: Seconds in the phase durations used by Table 3 arithmetic.
+PHASE1_SPAN_S = PHASE1_WEEKS * SECONDS_PER_WEEK
+PHASE2_SPAN_S = PHASE2_WEEKS * SECONDS_PER_WEEK
+
+#: One VFTP is one CPU-day of work delivered per day of wall clock.
+VFTP_UNIT_S = SECONDS_PER_DAY
+
+#: Default seed for the calibrated paper-scale synthetic dataset.
+DEFAULT_SEED = 2007

@@ -1,0 +1,130 @@
+"""Grid performance metrics (Sections 3.1, 5.1 and 6).
+
+The paper's central measuring stick is the *virtual full-time processor*
+(VFTP): "How many processors do we need to generate 10 years of cpu time
+for 1 day?" — i.e. CPU time delivered per unit wall-clock, expressed in
+always-on processors.  On top of it:
+
+* the **redundancy factor** — results disclosed / effective results
+  (1.37 for phase I);
+* the **raw speed-down** — volunteer CPU time consumed / reference CPU
+  time needed (5.43);
+* the **net speed-down** — raw / redundancy (3.96): how much slower one
+  volunteer CPU-second is than a reference CPU-second at producing useful
+  work;
+* the **dedicated equivalent** — reference processors that would complete
+  the same useful work in the same wall-clock span (Table 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..units import SECONDS_PER_DAY
+
+__all__ = [
+    "virtual_full_time_processors",
+    "redundancy_factor",
+    "speed_down_raw",
+    "speed_down_net",
+    "dedicated_equivalent",
+    "CampaignMetrics",
+]
+
+
+def virtual_full_time_processors(cpu_seconds: float, span_seconds: float) -> float:
+    """CPU time per wall-clock time, in always-on processors.
+
+    >>> virtual_full_time_processors(10 * 365 * 86400, 86400)  # 10 y in 1 d
+    3650.0
+    """
+    if span_seconds <= 0:
+        raise ValueError("span must be positive")
+    if cpu_seconds < 0:
+        raise ValueError("cpu time must be non-negative")
+    return cpu_seconds / span_seconds
+
+
+def redundancy_factor(results_disclosed: int, results_effective: int) -> float:
+    """Disclosed / effective results (paper: 5,418,010 / 3,936,010 = 1.37)."""
+    if results_effective <= 0:
+        raise ValueError("effective results must be positive")
+    if results_disclosed < results_effective:
+        raise ValueError("disclosed results cannot be fewer than effective ones")
+    return results_disclosed / results_effective
+
+
+def speed_down_raw(consumed_cpu_s: float, reference_cpu_s: float) -> float:
+    """Volunteer CPU consumed over reference CPU needed (paper: 5.43)."""
+    if reference_cpu_s <= 0:
+        raise ValueError("reference cpu time must be positive")
+    return consumed_cpu_s / reference_cpu_s
+
+
+def speed_down_net(raw: float, redundancy: float) -> float:
+    """Speed-down once redundant copies are discounted (paper: 3.96)."""
+    if redundancy < 1.0:
+        raise ValueError("redundancy factor is at least 1")
+    return raw / redundancy
+
+
+def dedicated_equivalent(reference_cpu_s: float, span_seconds: float) -> float:
+    """Dedicated reference processors doing the same useful work in the
+    same span (Table 2; assumes the dedicated grid is optimally used)."""
+    return virtual_full_time_processors(reference_cpu_s, span_seconds)
+
+
+@dataclass(frozen=True)
+class CampaignMetrics:
+    """Aggregated accounting of one campaign (measured or simulated)."""
+
+    span_seconds: float  #: wall-clock duration of the period
+    consumed_cpu_s: float  #: volunteer CPU time consumed (all copies)
+    useful_reference_cpu_s: float  #: reference CPU time of validated work
+    results_disclosed: int
+    results_effective: int
+
+    @property
+    def vftp(self) -> float:
+        """Average virtual full-time processors over the period."""
+        return virtual_full_time_processors(self.consumed_cpu_s, self.span_seconds)
+
+    @property
+    def redundancy(self) -> float:
+        return redundancy_factor(self.results_disclosed, self.results_effective)
+
+    @property
+    def useful_result_fraction(self) -> float:
+        """Fraction of received results that were useful (paper: 73%)."""
+        return self.results_effective / self.results_disclosed
+
+    @property
+    def speed_down_raw(self) -> float:
+        return speed_down_raw(self.consumed_cpu_s, self.useful_reference_cpu_s)
+
+    @property
+    def speed_down_net(self) -> float:
+        return speed_down_net(self.speed_down_raw, self.redundancy)
+
+    @property
+    def dedicated_equivalent(self) -> float:
+        """Table 2's right column for this period."""
+        return dedicated_equivalent(self.useful_reference_cpu_s, self.span_seconds)
+
+    @property
+    def mean_device_seconds_per_result(self) -> float:
+        """Average volunteer CPU time per disclosed result (paper: ~13 h)."""
+        if self.results_disclosed == 0:
+            raise ValueError("no results disclosed")
+        return self.consumed_cpu_s / self.results_disclosed
+
+    def equivalence_row(self) -> tuple[int, int]:
+        """One Table 2 row: (VFTP, dedicated-grid processors)."""
+        return (round(self.vftp), round(self.dedicated_equivalent))
+
+    @property
+    def cpu_days_per_day(self) -> float:
+        """CPU-days delivered per wall-clock day (the VFTP definition)."""
+        return self.consumed_cpu_s / SECONDS_PER_DAY / (
+            self.span_seconds / SECONDS_PER_DAY
+        )

@@ -1,0 +1,116 @@
+"""Phase-II projection (Section 7, Table 3).
+
+After phase I, the scientists plan to dock ~4,000 proteins with the number
+of docking points cut by a factor of 100, giving a workload ratio of
+
+    R = 4000^2 / (168^2 * 100) ~ 5.66
+
+over phase I.  The projection then answers three questions with VFTP
+arithmetic:
+
+* at phase-I throughput, how long would phase II take?  (~90 weeks)
+* how many VFTP finish it in 40 weeks?  (59,730)
+* how many members is that, given the observed VFTP-per-member yield and a
+  25% grid share?  (~1,300,000 members, i.e. ~1,000,000 new volunteers)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .. import constants
+from ..units import SECONDS_PER_WEEK
+
+__all__ = ["Phase2Projection", "work_ratio", "project_phase2"]
+
+
+def work_ratio(
+    n_proteins_new: int,
+    n_proteins_old: int = constants.N_PROTEINS,
+    point_reduction: float = constants.PHASE2_POINT_REDUCTION,
+) -> float:
+    """Workload ratio new/old: quadratic in proteins, linear in points.
+
+    >>> round(work_ratio(4000), 2)
+    5.67
+    """
+    if n_proteins_new < 1 or n_proteins_old < 1:
+        raise ValueError("protein counts must be positive")
+    if point_reduction <= 0:
+        raise ValueError("point reduction must be positive")
+    return n_proteins_new**2 / (n_proteins_old**2 * point_reduction)
+
+
+@dataclass(frozen=True)
+class Phase2Projection:
+    """Table 3, computed: phase-I observation and phase-II requirement."""
+
+    phase1_cpu_s: float
+    phase1_weeks: float
+    phase2_cpu_s: float
+    phase2_weeks: float
+    phase1_vftp: float
+    phase2_vftp: float
+    vftp_per_member: float
+    phase1_members: float
+    phase2_members: float
+
+    @property
+    def ratio(self) -> float:
+        """Phase II / phase I workload ratio."""
+        return self.phase2_cpu_s / self.phase1_cpu_s
+
+    @property
+    def weeks_at_phase1_rate(self) -> float:
+        """Phase-II duration if throughput stays at the phase-I level
+        (paper: ~90 weeks, "1 year and 9 months")."""
+        return self.phase1_weeks * self.ratio
+
+    def members_needed(self, grid_share: float) -> float:
+        """Members required when HCMD only receives ``grid_share`` of the
+        grid (paper: 25% share -> ~1,300,000 members)."""
+        if not 0 < grid_share <= 1:
+            raise ValueError("grid share must be in (0, 1]")
+        return self.phase2_members / grid_share
+
+    def rows(self) -> list[tuple[str, float, float]]:
+        """Table 3's rows: (label, phase I, phase II)."""
+        return [
+            ("cpu time in s", self.phase1_cpu_s, self.phase2_cpu_s),
+            ("Nb weeks", self.phase1_weeks, self.phase2_weeks),
+            ("Nb virtual full-time processors", self.phase1_vftp, self.phase2_vftp),
+            ("Nb members", self.phase1_members, self.phase2_members),
+        ]
+
+
+def project_phase2(
+    phase1_cpu_s: float = constants.PHASE1_CPU_S,
+    phase1_weeks: float = constants.PHASE1_WEEKS,
+    phase1_members: float = constants.PHASE1_MEMBERS,
+    phase2_weeks: float = constants.PHASE2_WEEKS,
+    n_proteins_new: int = constants.PHASE2_N_PROTEINS,
+    n_proteins_old: int = constants.N_PROTEINS,
+    point_reduction: float = constants.PHASE2_POINT_REDUCTION,
+) -> Phase2Projection:
+    """Reproduce Table 3 from first principles.
+
+    ``phase1_cpu_s`` is the CPU time consumed during the 16-week full-power
+    phase; members are converted through the phase-I VFTP-per-member yield.
+    """
+    ratio = work_ratio(n_proteins_new, n_proteins_old, point_reduction)
+    phase2_cpu_s = phase1_cpu_s * ratio
+    phase1_vftp = phase1_cpu_s / (phase1_weeks * SECONDS_PER_WEEK)
+    phase2_vftp = phase2_cpu_s / (phase2_weeks * SECONDS_PER_WEEK)
+    vftp_per_member = phase1_vftp / phase1_members
+    phase2_members = phase2_vftp / vftp_per_member
+    return Phase2Projection(
+        phase1_cpu_s=phase1_cpu_s,
+        phase1_weeks=phase1_weeks,
+        phase2_cpu_s=phase2_cpu_s,
+        phase2_weeks=phase2_weeks,
+        phase1_vftp=phase1_vftp,
+        phase2_vftp=phase2_vftp,
+        vftp_per_member=vftp_per_member,
+        phase1_members=phase1_members,
+        phase2_members=phase2_members,
+    )

@@ -1,0 +1,79 @@
+"""Workunit records.
+
+A workunit is the unit of distribution on the volunteer grid: "computing
+work (data + program)" (Section 3.1).  For HCMD a workunit is a slice of
+one couple's starting positions — never more than one couple per workunit
+(Section 4.2's technical constraint, which avoids merge complications).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from .. import constants
+
+__all__ = ["WorkUnit", "WorkUnitStatus", "workunit_input_bytes"]
+
+
+class WorkUnitStatus(enum.Enum):
+    """Server-side lifecycle of a workunit."""
+
+    UNRELEASED = "unreleased"  #: receptor batch not yet opened
+    READY = "ready"  #: available for distribution
+    IN_FLIGHT = "in_flight"  #: at least one copy on a volunteer
+    VALID = "valid"  #: a canonical (validated) result exists
+
+
+@dataclass(frozen=True)
+class WorkUnit:
+    """One slice of one couple's starting positions.
+
+    ``isep_start`` is 1-based, matching the paper's notation
+    ``isep in [1..Nsep(p1)]``; the slice covers positions
+    ``[isep_start, isep_start + nsep - 1]``.
+    """
+
+    wu_id: int
+    receptor: int  #: library index of p1 (fixed protein)
+    ligand: int  #: library index of p2 (mobile protein)
+    isep_start: int
+    nsep: int  #: number of starting positions in this slice
+    cost_reference_s: float  #: reference-CPU seconds (Opteron 2 GHz)
+
+    def __post_init__(self) -> None:
+        if self.isep_start < 1:
+            raise ValueError(f"isep_start is 1-based, got {self.isep_start}")
+        if self.nsep < 1:
+            raise ValueError(f"a workunit needs >= 1 position, got {self.nsep}")
+        if self.cost_reference_s <= 0:
+            raise ValueError("cost must be positive")
+
+    @property
+    def isep_end(self) -> int:
+        """Last starting position of the slice (inclusive, 1-based)."""
+        return self.isep_start + self.nsep - 1
+
+    @property
+    def couple(self) -> tuple[int, int]:
+        return (self.receptor, self.ligand)
+
+
+def workunit_input_bytes(
+    receptor_beads: int, ligand_beads: int, program_bytes: int = 1_200_000
+) -> int:
+    """Input volume of one workunit: program + the two protein files +
+    parameters.
+
+    The paper bounds this at 2 MB; each bead line costs ~60 ASCII bytes in
+    a reduced-model coordinate file.
+    """
+    protein_bytes = 60 * (receptor_beads + ligand_beads)
+    params_bytes = 512
+    total = program_bytes + protein_bytes + params_bytes
+    if total > constants.MAX_WORKUNIT_INPUT_BYTES:
+        raise ValueError(
+            f"workunit input {total} exceeds the {constants.MAX_WORKUNIT_INPUT_BYTES}"
+            " byte grid constraint"
+        )
+    return total

@@ -1,0 +1,114 @@
+"""Dedicated-grid campaign simulation.
+
+Two uses, mirroring the paper:
+
+* :meth:`DedicatedGridSimulation.run_calibration` — the Grid'5000
+  measurement campaign of Section 4.1: every couple sampled once on 640
+  reference processors inside a one-day reservation;
+* :meth:`DedicatedGridSimulation.run_workunits` — executing a packaged
+  workload on a dedicated cluster, giving the wall-clock the Table 2
+  equivalence promises (useful work / processors), which the ablation
+  bench compares against the volunteer grid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .. import constants
+from ..core.packaging import WorkUnitPlan
+from ..maxdo.cost_model import CostModel
+from ..units import SECONDS_PER_DAY
+from .cluster import Cluster
+
+__all__ = ["DedicatedRunResult", "DedicatedGridSimulation"]
+
+
+@dataclass(frozen=True)
+class DedicatedRunResult:
+    """Outcome of a dedicated-grid run."""
+
+    n_processors: int
+    n_tasks: int
+    cpu_seconds: float  #: processor time consumed (= reference work here)
+    makespan_s: float
+    utilization: float
+
+    @property
+    def cpu_days(self) -> float:
+        return self.cpu_seconds / SECONDS_PER_DAY
+
+    @property
+    def makespan_days(self) -> float:
+        return self.makespan_s / SECONDS_PER_DAY
+
+    @property
+    def effective_processors(self) -> float:
+        """Useful work per wall-clock — the dedicated grid's 'VFTP'."""
+        return self.cpu_seconds / self.makespan_s
+
+
+class DedicatedGridSimulation:
+    """A Grid'5000-like homogeneous cluster campaign runner."""
+
+    def __init__(self, n_processors: int, speed: float = 1.0) -> None:
+        self.n_processors = n_processors
+        self.speed = speed
+
+    def _run(self, costs: np.ndarray, lpt: bool) -> DedicatedRunResult:
+        cluster = Cluster(self.n_processors, speed=self.speed)
+        order = np.argsort(costs)[::-1] if lpt else np.arange(len(costs))
+        cluster.schedule_tasks(costs[order])
+        return DedicatedRunResult(
+            n_processors=self.n_processors,
+            n_tasks=len(costs),
+            cpu_seconds=float(costs.sum()) / self.speed,
+            makespan_s=cluster.makespan,
+            utilization=cluster.utilization(),
+        )
+
+    def run_calibration(
+        self,
+        cost_model: CostModel,
+        samples_per_couple: int = 7,
+        lpt: bool = True,
+    ) -> DedicatedRunResult:
+        """Execute the Section 4.1 measurement campaign.
+
+        Each of the ``n^2`` couples contributes one task: ``measured_ct``
+        of one starting position over ``samples_per_couple`` orientation
+        couples.  LPT ordering (longest task first) keeps the makespan near
+        the lower bound, as a real reservation would aim for.
+        """
+        n = cost_model.n_proteins
+        costs = np.array(
+            [
+                cost_model.measured_ct(i, j, 1, samples_per_couple)
+                for i in range(n)
+                for j in range(n)
+            ]
+        )
+        return self._run(costs, lpt)
+
+    def run_workunits(
+        self, plan: WorkUnitPlan, max_workunits: int | None = None, lpt: bool = False
+    ) -> DedicatedRunResult:
+        """Execute (a prefix of) a packaged workload on the cluster.
+
+        Dedicated processors run at full duty with no redundancy, so the
+        consumed CPU equals the useful reference work — the defining
+        contrast with the volunteer grid in Table 2.
+        """
+        costs = []
+        for wu in plan.iter_workunits():
+            costs.append(wu.cost_reference_s)
+            if max_workunits is not None and len(costs) >= max_workunits:
+                break
+        return self._run(np.asarray(costs), lpt)
+
+    @classmethod
+    def grid5000_calibration_setup(cls) -> "DedicatedGridSimulation":
+        """The paper's reservation: 640 reference processors."""
+        return cls(n_processors=constants.CALIBRATION_PROCESSORS, speed=1.0)

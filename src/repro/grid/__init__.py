@@ -1,0 +1,27 @@
+"""Grid substrate: discrete-event kernel, host behaviour, population models.
+
+Shared by the volunteer-grid simulator (:mod:`repro.boinc`) and the
+dedicated-grid simulator (:mod:`repro.dedicated`):
+
+* :mod:`repro.grid.des` — a minimal deterministic discrete-event kernel;
+* :mod:`repro.grid.availability` — volunteer on/off availability traces;
+* :mod:`repro.grid.host` — volunteer host specs (speed, duty cycle,
+  reliability) calibrated to the paper's speed-down;
+* :mod:`repro.grid.population` — the World Community Grid growth model
+  behind Figure 1 and the HCMD share schedule of Figure 6a.
+"""
+
+from .availability import AvailabilityTrace
+from .des import Event, Simulator
+from .host import HostPopulationModel, HostSpec
+from .population import WCGPopulationModel, hcmd_share_schedule
+
+__all__ = [
+    "AvailabilityTrace",
+    "Event",
+    "Simulator",
+    "HostPopulationModel",
+    "HostSpec",
+    "WCGPopulationModel",
+    "hcmd_share_schedule",
+]

@@ -1,0 +1,137 @@
+"""Volunteer availability traces.
+
+A volunteer device alternates between periods where the agent can compute
+(machine on, user allows guest work) and periods where it cannot (machine
+off, user busy, agent paused).  "The user can configure the agent to use
+only the idle time of the device, or launch the workunit only when the
+screensaver is active or continuously work" (Section 3.1) — at the level
+the simulation needs, this is an on/off renewal process with exponential
+session/gap lengths plus a diurnal modulation (nights are more available
+than office hours for home machines; the aggregate weekly dip of Figure 1
+is handled by the population model).
+
+Traces are materialized up front per host (a few hundred intervals for a
+26-week horizon), so the agent state machine can query transitions in
+O(log n) and property tests can check the interval algebra directly.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..units import SECONDS_PER_DAY, SECONDS_PER_HOUR
+
+__all__ = ["AvailabilityTrace", "generate_trace"]
+
+
+@dataclass(frozen=True)
+class AvailabilityTrace:
+    """Sorted, disjoint ``[start, end)`` intervals where the host computes.
+
+    All times are simulation seconds.  ``horizon`` bounds the trace: queries
+    beyond it return "unavailable forever".
+    """
+
+    starts: np.ndarray
+    ends: np.ndarray
+    horizon: float
+
+    def __post_init__(self) -> None:
+        starts = np.asarray(self.starts, dtype=np.float64)
+        ends = np.asarray(self.ends, dtype=np.float64)
+        if starts.shape != ends.shape or starts.ndim != 1:
+            raise ValueError("starts/ends must be equal-length 1-d arrays")
+        if len(starts):
+            if (ends <= starts).any():
+                raise ValueError("every interval must have positive length")
+            if (starts[1:] < ends[:-1]).any():
+                raise ValueError("intervals must be sorted and disjoint")
+            if ends[-1] > self.horizon:
+                raise ValueError("trace extends past its horizon")
+        object.__setattr__(self, "starts", starts)
+        object.__setattr__(self, "ends", ends)
+        starts.setflags(write=False)
+        ends.setflags(write=False)
+
+    def is_available(self, t: float) -> bool:
+        """Whether the host computes at time ``t``."""
+        i = bisect_right(self.starts, t) - 1
+        return i >= 0 and t < self.ends[i]
+
+    def next_transition(self, t: float) -> float | None:
+        """First time strictly after ``t`` where availability flips.
+
+        Returns None when no transition remains before the horizon.
+        """
+        i = bisect_right(self.starts, t) - 1
+        if i >= 0 and t < self.ends[i]:
+            return float(self.ends[i])
+        if i + 1 < len(self.starts):
+            return float(self.starts[i + 1])
+        return None
+
+    def available_seconds(self, t0: float, t1: float) -> float:
+        """Total available time within ``[t0, t1]`` (clipped overlap sum)."""
+        if t1 < t0:
+            raise ValueError("t1 must be >= t0")
+        overlap = np.minimum(self.ends, t1) - np.maximum(self.starts, t0)
+        return float(np.clip(overlap, 0.0, None).sum())
+
+    @property
+    def total_available(self) -> float:
+        """Available seconds over the whole horizon."""
+        return float((self.ends - self.starts).sum())
+
+    def n_intervals(self) -> int:
+        return len(self.starts)
+
+
+def _diurnal_weight(t: float, phase: float) -> float:
+    """Relative availability at time-of-day ``t`` (peak in the evening)."""
+    day_fraction = ((t / SECONDS_PER_DAY) + phase) % 1.0
+    return 1.0 + 0.5 * np.sin(2.0 * np.pi * (day_fraction - 0.25))
+
+
+def generate_trace(
+    rng: np.random.Generator,
+    horizon: float,
+    join_time: float = 0.0,
+    leave_time: float | None = None,
+    mean_on_hours: float = 6.0,
+    mean_off_hours: float = 6.0,
+    diurnal: bool = True,
+) -> AvailabilityTrace:
+    """Sample an availability trace over ``[join_time, leave_time]``.
+
+    Alternating exponential on/off sessions; with ``diurnal=True`` the off
+    gaps stretch or shrink with the time of day (a per-host random phase
+    models time zones and habits).  A host present for the whole horizon
+    with 6 h/6 h parameters is available ~50% of wall-clock time, matching
+    the "non-dedicated device" picture of Section 6.
+    """
+    end = min(horizon, leave_time if leave_time is not None else horizon)
+    if end <= join_time:
+        return AvailabilityTrace(
+            starts=np.empty(0), ends=np.empty(0), horizon=horizon
+        )
+    phase = float(rng.random())
+    starts: list[float] = []
+    ends: list[float] = []
+    # Start in the off state with a partial gap so hosts don't all wake at
+    # their join instant.
+    t = join_time + float(rng.exponential(mean_off_hours * SECONDS_PER_HOUR / 2))
+    while t < end:
+        on = float(rng.exponential(mean_on_hours * SECONDS_PER_HOUR))
+        session_end = min(t + max(on, 60.0), end)
+        starts.append(t)
+        ends.append(session_end)
+        gap = float(rng.exponential(mean_off_hours * SECONDS_PER_HOUR))
+        if diurnal:
+            gap /= _diurnal_weight(session_end, phase)
+        t = session_end + max(gap, 60.0)
+    return AvailabilityTrace(
+        starts=np.asarray(starts), ends=np.asarray(ends), horizon=horizon
+    )

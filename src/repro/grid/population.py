@@ -1,0 +1,182 @@
+"""World Community Grid population model (Figure 1) and the HCMD share
+schedule (Figure 6a).
+
+Figure 1 plots the *virtual full-time processors* participating in WCG
+since its launch (Nov 16, 2004): a globally increasing trend with weekly
+oscillation ("during the week-end there are less processors than during
+the week") and dips at the Christmas holidays of 2005 and 2006 and the
+summer of 2006.
+
+We model the trend as a logistic curve calibrated by least squares to the
+paper's anchors — ~2,000 VFTP at launch, an average of 54,947 VFTP during
+the HCMD project window, 74,825 VFTP in the week the paper was written —
+and superpose deterministic weekly/holiday modulations.
+
+The HCMD share schedule reproduces Section 5.1's three phases: a
+low-priority *control period* (~2 months), a *project prioritization* ramp
+through February (reaching 45% of WCG's devices), and a constant-share
+*full power working phase* until completion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy.optimize import least_squares
+
+from .. import constants
+from ..units import SECONDS_PER_DAY
+
+__all__ = ["WCGPopulationModel", "ShareSchedule", "hcmd_share_schedule"]
+
+#: Day offsets (from WCG launch) of the modulation features of Figure 1.
+_CHRISTMAS_2005_DAY = 404
+_CHRISTMAS_2006_DAY = 769
+_SUMMER_2006_START = 590
+_SUMMER_2006_END = 670
+
+#: WCG launched on a Tuesday (Nov 16, 2004); weekday index 0 = Monday.
+_LAUNCH_WEEKDAY = 1
+
+
+@dataclass(frozen=True)
+class WCGPopulationModel:
+    """Logistic VFTP trend with weekly and seasonal modulation."""
+
+    capacity: float  #: logistic ceiling (VFTP)
+    midpoint_day: float  #: inflection day
+    timescale_days: float  #: logistic time constant
+    weekend_dip: float = constants.WEEKEND_DIP_FRACTION
+    holiday_dip: float = 0.18
+    summer_dip: float = 0.07
+    #: VFTP produced per member (325,000 members ~ 60,000 VFTP, Section 7)
+    vftp_per_member: float = constants.WCG_MEMBERS_VFTP / constants.WCG_MEMBERS
+
+    # -- trend ----------------------------------------------------------
+
+    def trend(self, day: np.ndarray | float) -> np.ndarray | float:
+        """Smooth VFTP trend at ``day`` (days since WCG launch)."""
+        day = np.asarray(day, dtype=np.float64)
+        out = self.capacity / (
+            1.0 + np.exp(-(day - self.midpoint_day) / self.timescale_days)
+        )
+        return out if out.ndim else float(out)
+
+    def _modulation(self, day: np.ndarray) -> np.ndarray:
+        weekday = (day.astype(np.int64) + _LAUNCH_WEEKDAY) % 7
+        mod = np.where(weekday >= 5, 1.0 - self.weekend_dip, 1.0)
+        for center in (_CHRISTMAS_2005_DAY, _CHRISTMAS_2006_DAY):
+            mod = mod * (
+                1.0 - self.holiday_dip * np.exp(-0.5 * ((day - center) / 6.0) ** 2)
+            )
+        in_summer = (day >= _SUMMER_2006_START) & (day <= _SUMMER_2006_END)
+        mod = np.where(in_summer, mod * (1.0 - self.summer_dip), mod)
+        return mod
+
+    def vftp(self, day: np.ndarray | float) -> np.ndarray | float:
+        """Modulated VFTP (the Figure 1 curve)."""
+        arr = np.asarray(day, dtype=np.float64)
+        out = self.trend(arr) * self._modulation(arr)
+        return out if out.ndim else float(out)
+
+    def daily_series(self, start_day: int, n_days: int) -> np.ndarray:
+        """VFTP sampled once per day over ``[start_day, start_day+n_days)``."""
+        days = np.arange(start_day, start_day + n_days, dtype=np.float64)
+        return np.asarray(self.vftp(days))
+
+    def members(self, day: np.ndarray | float) -> np.ndarray | float:
+        """Members implied by the trend through the VFTP-per-member yield."""
+        trend = self.trend(day)
+        return trend / self.vftp_per_member
+
+    def cpu_years_per_day(self, day: float) -> float:
+        """Daily CPU production in years/day (how WCG publishes Figure 1)."""
+        return float(self.vftp(day)) * SECONDS_PER_DAY / (365 * SECONDS_PER_DAY)
+
+    # -- calibration ------------------------------------------------------
+
+    @classmethod
+    def calibrated(cls) -> "WCGPopulationModel":
+        """Least-squares fit of the logistic to the paper's three anchors.
+
+        1. ~2,000 VFTP at launch (day 0);
+        2. average 54,947 VFTP over the HCMD window (days 763..945);
+        3. 74,825 VFTP in the week the paper was written (~day 1110).
+        """
+        project_days = np.arange(
+            constants.WCG_LAUNCH_TO_HCMD_DAYS,
+            constants.WCG_LAUNCH_TO_HCMD_DAYS + 7 * constants.PROJECT_DURATION_WEEKS,
+            dtype=np.float64,
+        )
+
+        def residuals(params: np.ndarray) -> np.ndarray:
+            model = cls(
+                capacity=params[0],
+                midpoint_day=params[1],
+                timescale_days=params[2],
+            )
+            return np.array(
+                [
+                    (model.trend(0.0) - constants.WCG_VFTP_AT_LAUNCH)
+                    / constants.WCG_VFTP_AT_LAUNCH,
+                    (
+                        float(np.mean(model.trend(project_days)))
+                        - constants.WCG_VFTP_DURING_PROJECT
+                    )
+                    / constants.WCG_VFTP_DURING_PROJECT,
+                    (model.trend(1110.0) - constants.WCG_VFTP_DEC_2007)
+                    / constants.WCG_VFTP_DEC_2007,
+                ]
+            )
+
+        fit = least_squares(
+            residuals,
+            x0=np.array([95_000.0, 720.0, 250.0]),
+            bounds=([10_000.0, 100.0, 30.0], [500_000.0, 2000.0, 1000.0]),
+        )
+        capacity, midpoint, timescale = fit.x
+        return cls(
+            capacity=float(capacity),
+            midpoint_day=float(midpoint),
+            timescale_days=float(timescale),
+        )
+
+
+@dataclass(frozen=True)
+class ShareSchedule:
+    """Fraction of WCG working for HCMD as a function of project week."""
+
+    control_weeks: float = float(constants.CONTROL_PERIOD_WEEKS)
+    ramp_weeks: float = float(constants.PRIORITIZATION_WEEKS)
+    control_share: float = 0.07
+    full_share: float = constants.PEAK_PROJECT_SHARE
+
+    def share(self, week: np.ndarray | float) -> np.ndarray | float:
+        """Piecewise-linear share: control -> ramp -> full power."""
+        week = np.asarray(week, dtype=np.float64)
+        ramp_end = self.control_weeks + self.ramp_weeks
+        ramp_frac = np.clip((week - self.control_weeks) / self.ramp_weeks, 0.0, 1.0)
+        out = np.where(
+            week < self.control_weeks,
+            self.control_share,
+            self.control_share + ramp_frac * (self.full_share - self.control_share),
+        )
+        out = np.where(week >= ramp_end, self.full_share, out)
+        out = np.where(week < 0, 0.0, out)
+        return out if out.ndim else float(out)
+
+    def phase_of_week(self, week: float) -> str:
+        """Phase label of Section 5.1 for ``week``."""
+        if week < 0:
+            raise ValueError("week must be non-negative")
+        if week < self.control_weeks:
+            return "control period"
+        if week < self.control_weeks + self.ramp_weeks:
+            return "project prioritization"
+        return "full power working phase"
+
+
+def hcmd_share_schedule() -> ShareSchedule:
+    """The paper-default HCMD share schedule (Section 5.1)."""
+    return ShareSchedule()

@@ -1,0 +1,169 @@
+"""Device-class mixtures.
+
+"The computers which compose the membership of World Community Grid are
+usually simple desktop machines" (Section 3.2) — but not uniformly so: a
+volunteer fleet mixes home machines crunching in the evening, office
+desktops idle outside work hours, laptops with short sessions, and the
+occasional always-on box.  This module provides named device classes and a
+mixture population model, so fleet-composition questions ("what if the
+fleet were all office machines?") become one-parameter experiments.
+
+The mixture model is a drop-in replacement for
+:class:`repro.grid.host.HostPopulationModel`: per-host class assignment is
+seeded and index-stable, and a blended representative profile supports the
+simulator's capacity sizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from .. import constants
+from ..rng import substream
+from .host import HostPopulationModel, HostProfile, HostSpec
+
+__all__ = ["DeviceClass", "MixtureHostModel", "wcg_fleet_mixture"]
+
+
+@dataclass(frozen=True)
+class DeviceClass:
+    """A named host profile with a mixture weight."""
+
+    name: str
+    profile: HostProfile
+    weight: float
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError("class weight must be positive")
+
+
+#: Home desktop: evening crunching, mid-range speed — the WCG mainstay.
+HOME_EVENING = DeviceClass(
+    name="home-evening",
+    profile=HostProfile(mean_on_hours=5.0, mean_off_hours=9.0),
+    weight=0.55,
+)
+
+#: Office desktop: long idle nights/weekends, almost no owner contention
+#: while crunching, but strictly throttled during the day.
+OFFICE_DESKTOP = DeviceClass(
+    name="office-desktop",
+    profile=HostProfile(
+        mean_on_hours=12.0, mean_off_hours=10.0,
+        contention_low=0.55, contention_high=0.95,
+    ),
+    weight=0.25,
+)
+
+#: Laptop: short sessions, frequent interruptions, abandons more work.
+LAPTOP = DeviceClass(
+    name="laptop",
+    profile=HostProfile(
+        mean_on_hours=2.0, mean_off_hours=6.0,
+        abandon_prob=0.08, speed_median=0.75,
+    ),
+    weight=0.15,
+)
+
+#: Always-on workstation: the rare dedicated-style volunteer.
+ALWAYS_ON = DeviceClass(
+    name="always-on",
+    profile=HostProfile(
+        mean_on_hours=60.0, mean_off_hours=2.0,
+        contention_low=0.70, contention_high=0.98, speed_median=1.1,
+    ),
+    weight=0.05,
+)
+
+
+def wcg_fleet_mixture() -> list[DeviceClass]:
+    """The default four-class WCG-like fleet."""
+    return [HOME_EVENING, OFFICE_DESKTOP, LAPTOP, ALWAYS_ON]
+
+
+class MixtureHostModel:
+    """Per-host device classes drawn from a weighted mixture.
+
+    Drop-in for :class:`HostPopulationModel`: ``spec(index, join_time)``
+    is deterministic per index, and ``profile`` exposes a weight-blended
+    representative profile for capacity sizing.
+    """
+
+    def __init__(
+        self,
+        classes: list[DeviceClass] | None = None,
+        seed: int = constants.DEFAULT_SEED,
+        horizon: float = 26 * 7 * 86_400.0,
+    ) -> None:
+        self.classes = classes if classes is not None else wcg_fleet_mixture()
+        if not self.classes:
+            raise ValueError("need at least one device class")
+        self.seed = seed
+        self.horizon = horizon
+        weights = np.array([c.weight for c in self.classes], dtype=np.float64)
+        self._probs = weights / weights.sum()
+        self._models = [
+            HostPopulationModel(profile=c.profile, seed=seed, horizon=horizon)
+            for c in self.classes
+        ]
+
+    @property
+    def profile(self) -> HostProfile:
+        """Weight-blended representative profile (sizing heuristics only)."""
+        def blend(attr: str) -> float:
+            return float(
+                sum(
+                    p * getattr(c.profile, attr)
+                    for p, c in zip(self._probs, self.classes)
+                )
+            )
+
+        return replace(
+            self.classes[0].profile,
+            speed_median=blend("speed_median"),
+            mean_on_hours=blend("mean_on_hours"),
+            mean_off_hours=blend("mean_off_hours"),
+            contention_low=blend("contention_low"),
+            contention_high=blend("contention_high"),
+            abandon_prob=blend("abandon_prob"),
+            reliability=blend("reliability"),
+        )
+
+    def class_of(self, index: int) -> DeviceClass:
+        """The (seeded, index-stable) device class of host ``index``."""
+        rng = substream(self.seed, "device-class", index)
+        choice = int(rng.choice(len(self.classes), p=self._probs))
+        return self.classes[choice]
+
+    def spec(self, index: int, join_time: float = 0.0) -> HostSpec:
+        """Materialize host ``index`` from its class's population model."""
+        rng = substream(self.seed, "device-class", index)
+        choice = int(rng.choice(len(self.classes), p=self._probs))
+        return self._models[choice].spec(index, join_time=join_time)
+
+    def with_profile(self, **overrides) -> "MixtureHostModel":
+        """Override profile fields across every class (API parity)."""
+        return MixtureHostModel(
+            classes=[
+                DeviceClass(
+                    name=c.name,
+                    profile=replace(c.profile, **overrides),
+                    weight=c.weight,
+                )
+                for c in self.classes
+            ],
+            seed=self.seed,
+            horizon=self.horizon,
+        )
+
+    def class_shares(self, n_hosts: int) -> dict[str, float]:
+        """Realized class composition of the first ``n_hosts`` hosts."""
+        if n_hosts < 1:
+            raise ValueError("need at least one host")
+        counts: dict[str, int] = {c.name: 0 for c in self.classes}
+        for i in range(n_hosts):
+            counts[self.class_of(i).name] += 1
+        return {name: count / n_hosts for name, count in counts.items()}

@@ -1,0 +1,116 @@
+"""Availability-trace serialization and statistics.
+
+Volunteer-availability research archives traces as interval tables (start,
+end per availability episode, one file per host) — the Failure Trace
+Archive convention.  This module reads/writes that shape as CSV, so users
+can feed *measured* traces into the simulator instead of the synthetic
+renewal model, and computes the summary statistics host models are
+calibrated against.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .availability import AvailabilityTrace
+
+__all__ = ["write_trace_csv", "read_trace_csv", "TraceStatistics", "trace_statistics"]
+
+_HEADER = ["start_s", "end_s"]
+
+
+def write_trace_csv(path: Path | str, trace: AvailabilityTrace) -> Path:
+    """Write a trace as (start_s, end_s) CSV rows plus a horizon comment."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="ascii") as fh:
+        fh.write(f"# horizon_s {trace.horizon:.3f}\n")
+        writer = csv.writer(fh)
+        writer.writerow(_HEADER)
+        for start, end in zip(trace.starts, trace.ends):
+            writer.writerow([f"{start:.3f}", f"{end:.3f}"])
+    return path
+
+
+def read_trace_csv(path: Path | str) -> AvailabilityTrace:
+    """Parse a trace CSV written by :func:`write_trace_csv`.
+
+    Raises ``ValueError`` on malformed files; interval-algebra violations
+    (overlaps, empty intervals, horizon breaches) surface through the
+    :class:`AvailabilityTrace` validator.
+    """
+    path = Path(path)
+    horizon: float | None = None
+    rows: list[tuple[float, float]] = []
+    with path.open("r", encoding="ascii") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if len(parts) == 2 and parts[0] == "horizon_s":
+                    horizon = float(parts[1])
+                continue
+            if line.startswith(_HEADER[0]):
+                continue
+            parts = line.split(",")
+            if len(parts) != 2:
+                raise ValueError(f"{path.name}: malformed row {line!r}")
+            rows.append((float(parts[0]), float(parts[1])))
+    if horizon is None:
+        raise ValueError(f"{path.name}: missing horizon comment")
+    starts = np.array([r[0] for r in rows])
+    ends = np.array([r[1] for r in rows])
+    return AvailabilityTrace(starts=starts, ends=ends, horizon=horizon)
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary statistics of one availability trace."""
+
+    availability: float  #: available fraction of the horizon
+    n_sessions: int
+    mean_session_s: float
+    mean_gap_s: float
+    longest_session_s: float
+    interruptions_per_day: float
+
+    def as_rows(self) -> list[tuple[str, float]]:
+        return [
+            ("availability", self.availability),
+            ("sessions", float(self.n_sessions)),
+            ("mean session (h)", self.mean_session_s / 3600.0),
+            ("mean gap (h)", self.mean_gap_s / 3600.0),
+            ("longest session (h)", self.longest_session_s / 3600.0),
+            ("interruptions/day", self.interruptions_per_day),
+        ]
+
+
+def trace_statistics(trace: AvailabilityTrace) -> TraceStatistics:
+    """Compute the calibration-relevant statistics of a trace."""
+    n = trace.n_intervals()
+    if n == 0:
+        return TraceStatistics(
+            availability=0.0,
+            n_sessions=0,
+            mean_session_s=0.0,
+            mean_gap_s=trace.horizon,
+            longest_session_s=0.0,
+            interruptions_per_day=0.0,
+        )
+    sessions = trace.ends - trace.starts
+    gaps = trace.starts[1:] - trace.ends[:-1]
+    days = trace.horizon / 86_400.0
+    return TraceStatistics(
+        availability=trace.total_available / trace.horizon,
+        n_sessions=n,
+        mean_session_s=float(sessions.mean()),
+        mean_gap_s=float(gaps.mean()) if gaps.size else 0.0,
+        longest_session_s=float(sessions.max()),
+        interruptions_per_day=n / days if days > 0 else 0.0,
+    )

@@ -1,0 +1,41 @@
+"""MAXDo — Molecular Association via Cross-Docking simulations (reproduction).
+
+The original MAXDo program (Sacquin-Mora et al.) systematically docks couples
+of rigid reduced proteins: for every starting position ``isep`` of the ligand
+around the receptor and every starting orientation ``irot``, it minimizes a
+simplified interaction energy (Lennard-Jones + electrostatics) over the six
+rigid-body degrees of freedom and records the optimum.
+
+This subpackage reimplements that pipeline on the synthetic substrate of
+:mod:`repro.proteins`:
+
+* :mod:`repro.maxdo.orientations` — the 21 (alpha, beta) starting-orientation
+  couples x 10 gamma values of the paper (footnote 1);
+* :mod:`repro.maxdo.energy` — vectorized interaction energy and bead forces;
+* :mod:`repro.maxdo.minimize` — rigid-body 6-DOF minimization;
+* :mod:`repro.maxdo.docking` — the isep x irot energy-map driver with
+  checkpointing (:mod:`repro.maxdo.checkpoint`) and the text result format
+  (:mod:`repro.maxdo.resultfile`);
+* :mod:`repro.maxdo.cost_model` — the computing-time model of Section 4.1:
+  a calibrated 168 x 168 ``Mct`` matrix with the paper's linearity
+  properties, which the packaging/scheduling layers consume.
+"""
+
+from .cost_model import CostModel
+from .docking import DockingResult, MaxDoRun, dock_couple
+from .energy import interaction_energy, pair_energies
+from .minimize import minimize_rigid
+from .orientations import gamma_values, orientation_couples, rotation_matrix
+
+__all__ = [
+    "CostModel",
+    "DockingResult",
+    "MaxDoRun",
+    "dock_couple",
+    "interaction_energy",
+    "pair_energies",
+    "minimize_rigid",
+    "gamma_values",
+    "orientation_couples",
+    "rotation_matrix",
+]

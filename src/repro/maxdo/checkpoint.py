@@ -1,0 +1,101 @@
+"""Checkpoint-restart between starting positions.
+
+"The MAXDo program can be stopped at any time and restarted from the last
+checkpoint. [...] the checkpoint occurs only between starting positions. If
+the program is stopped during the computation of one starting position, the
+MAXDo program has to be relaunched from this position." (Section 4.3)
+
+A checkpoint records the workunit identity and how many starting positions
+have been fully committed to the partial result file.  Loading a checkpoint
+verifies that the partial file is consistent (the right number of data
+lines); a file truncated mid-position is rolled back to the last committed
+position boundary — exactly the semantics above.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from pathlib import Path
+
+__all__ = ["Checkpoint", "rollback_partial_results"]
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """State persisted after each completed starting position."""
+
+    receptor: str
+    ligand: str
+    isep_start: int
+    nsep: int
+    n_couples: int
+    n_gamma: int
+    positions_done: int  #: starting positions fully committed
+
+    @property
+    def lines_committed(self) -> int:
+        """Data lines the partial result file must contain (one line per
+        position and orientation couple — the best-of-gamma optimum)."""
+        return self.positions_done * self.n_couples
+
+    @property
+    def complete(self) -> bool:
+        """True once every starting position of the workunit is done."""
+        return self.positions_done >= self.nsep
+
+    def save(self, path: Path | str) -> None:
+        """Atomically persist the checkpoint as JSON."""
+        path = Path(path)
+        tmp = path.with_suffix(path.suffix + ".tmp")
+        tmp.write_text(json.dumps(asdict(self), indent=1), encoding="ascii")
+        tmp.replace(path)
+
+    @classmethod
+    def load(cls, path: Path | str) -> "Checkpoint":
+        """Load a checkpoint written by :meth:`save`."""
+        raw = json.loads(Path(path).read_text(encoding="ascii"))
+        ckpt = cls(**raw)
+        if not 0 <= ckpt.positions_done <= ckpt.nsep:
+            raise ValueError(
+                f"corrupt checkpoint: positions_done={ckpt.positions_done} "
+                f"outside [0, {ckpt.nsep}]"
+            )
+        return ckpt
+
+    def advanced(self, positions: int = 1) -> "Checkpoint":
+        """A new checkpoint with ``positions`` more positions committed."""
+        done = self.positions_done + positions
+        if done > self.nsep:
+            raise ValueError(f"cannot advance past nsep={self.nsep}")
+        return Checkpoint(
+            receptor=self.receptor,
+            ligand=self.ligand,
+            isep_start=self.isep_start,
+            nsep=self.nsep,
+            n_couples=self.n_couples,
+            n_gamma=self.n_gamma,
+            positions_done=done,
+        )
+
+
+def rollback_partial_results(partial_path: Path | str, checkpoint: Checkpoint) -> int:
+    """Truncate a partial result file to the checkpoint's position boundary.
+
+    Volunteers can kill the agent mid-position; any data lines beyond the
+    last committed boundary are discarded.  Returns the number of data lines
+    dropped.  Header lines (``#``) are preserved.
+    """
+    partial_path = Path(partial_path)
+    lines = partial_path.read_text(encoding="ascii").splitlines(keepends=True)
+    header = [ln for ln in lines if ln.startswith("#")]
+    data = [ln for ln in lines if not ln.startswith("#") and ln.strip()]
+    keep = checkpoint.lines_committed
+    if len(data) < keep:
+        raise ValueError(
+            f"partial file has {len(data)} lines, checkpoint claims {keep}"
+        )
+    dropped = len(data) - keep
+    if dropped:
+        partial_path.write_text("".join(header + data[:keep]), encoding="ascii")
+    return dropped

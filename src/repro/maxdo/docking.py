@@ -1,0 +1,347 @@
+"""The MAXDo driver: energy maps over starting positions and orientations.
+
+``dock_couple`` computes the interaction-energy map of one (receptor,
+ligand) couple over a slice of starting positions — the computational
+content of one workunit.  ``MaxDoRun`` wraps it with the volunteer-facing
+machinery: incremental result files, checkpoint-restart between starting
+positions, and interruption (the agent can stop the run at any position
+boundary, or kill it mid-position and lose the uncommitted tail).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from ..proteins.model import ReducedProtein
+from ..proteins.surface import starting_positions
+from .checkpoint import Checkpoint, rollback_partial_results
+from .energy import EnergyParams, interaction_energy
+from .minimize import minimize_rigid
+from .orientations import (
+    N_COUPLES,
+    N_GAMMA,
+    gamma_values,
+    orientation_couples,
+    rotation_matrix,
+)
+from .resultfile import (
+    ResultHeader,
+    append_records,
+    format_record,
+    read_results,
+    write_results,
+)
+
+__all__ = ["DockingResult", "dock_position", "dock_couple", "MaxDoRun"]
+
+
+def ligand_start_positions(
+    receptor_positions: np.ndarray, ligand: ReducedProtein
+) -> np.ndarray:
+    """Offset surface anchor points by the ligand's own radius.
+
+    Starting positions enumerate anchors just outside the *receptor*
+    envelope; the ligand's mass center must additionally clear the
+    ligand's extent, so each anchor is pushed outward radially.
+    """
+    positions = np.asarray(receptor_positions, dtype=np.float64)
+    norms = np.linalg.norm(positions, axis=-1, keepdims=True)
+    return positions * (1.0 + ligand.bounding_radius / norms)
+
+
+@dataclass
+class DockingResult:
+    """Energy map for a slice of starting positions.
+
+    Arrays are indexed ``[position, couple, gamma]``.
+    """
+
+    receptor: str
+    ligand: str
+    isep_start: int
+    e_lj: np.ndarray
+    e_elec: np.ndarray
+    positions: np.ndarray  #: final mass-center positions, same shape + (3,)
+    eulers: np.ndarray  #: final ZYZ angles, same shape + (3,)
+
+    @property
+    def e_total(self) -> np.ndarray:
+        return self.e_lj + self.e_elec
+
+    @property
+    def nsep(self) -> int:
+        return self.e_lj.shape[0]
+
+    def best(self) -> tuple[int, int, int]:
+        """Index (position, couple, gamma) of the strongest interaction."""
+        flat = int(np.argmin(self.e_total))
+        return np.unravel_index(flat, self.e_total.shape)  # type: ignore[return-value]
+
+    def to_lines(self) -> list[str]:
+        """Render as result-file data lines: one per (position, orientation
+        couple), keeping the best-of-gamma optimum (igamma marks the winning
+        spin)."""
+        lines = []
+        n_pos, n_cpl, _ = self.e_lj.shape
+        e_total = self.e_total
+        for p in range(n_pos):
+            for c in range(n_cpl):
+                g = int(np.argmin(e_total[p, c]))
+                lines.append(
+                    format_record(
+                        self.isep_start + p,
+                        c + 1,
+                        g + 1,
+                        self.positions[p, c, g],
+                        self.eulers[p, c, g],
+                        float(self.e_lj[p, c, g]),
+                        float(self.e_elec[p, c, g]),
+                    )
+                )
+        return lines
+
+
+def dock_position(
+    receptor: ReducedProtein,
+    ligand: ReducedProtein,
+    position: np.ndarray,
+    couples: np.ndarray,
+    gammas: np.ndarray,
+    minimize: bool = True,
+    max_iterations: int = 60,
+    energy_params: EnergyParams | None = None,
+) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Dock one starting position over all orientations.
+
+    Returns ``(e_lj, e_elec, final_positions, final_eulers)`` with leading
+    shape ``(n_couples, n_gamma)``.  With ``minimize=False`` the energies
+    are evaluated at the starting pose only (cheap mode used by tests and
+    large sweeps).
+    """
+    n_cpl, n_gam = len(couples), len(gammas)
+    e_lj = np.empty((n_cpl, n_gam))
+    e_elec = np.empty((n_cpl, n_gam))
+    out_pos = np.empty((n_cpl, n_gam, 3))
+    out_euler = np.empty((n_cpl, n_gam, 3))
+    for c, (alpha, beta) in enumerate(couples):
+        for g, gamma in enumerate(gammas):
+            euler = np.array([alpha, beta, gamma])
+            if minimize:
+                res = minimize_rigid(
+                    receptor, ligand, position, euler,
+                    max_iterations=max_iterations, energy_params=energy_params,
+                )
+                e_lj[c, g] = res.energy_lj
+                e_elec[c, g] = res.energy_elec
+                out_pos[c, g] = res.translation
+                out_euler[c, g] = res.euler
+            else:
+                lj, el = interaction_energy(
+                    receptor, ligand, rotation_matrix(*euler), position,
+                    params=energy_params,
+                )
+                e_lj[c, g] = lj
+                e_elec[c, g] = el
+                out_pos[c, g] = position
+                out_euler[c, g] = euler
+    return e_lj, e_elec, out_pos, out_euler
+
+
+def dock_couple(
+    receptor: ReducedProtein,
+    ligand: ReducedProtein,
+    isep_start: int = 1,
+    nsep: int | None = None,
+    total_nsep: int | None = None,
+    n_couples: int = N_COUPLES,
+    n_gamma: int = N_GAMMA,
+    minimize: bool = True,
+    max_iterations: int = 60,
+    energy_params: EnergyParams | None = None,
+) -> DockingResult:
+    """Compute the energy map of one couple over an isep slice.
+
+    ``total_nsep`` is the receptor's full starting-position count (defaults
+    to the slice size); the slice ``[isep_start, isep_start + nsep)`` is cut
+    from that full enumeration, so a couple sliced across several workunits
+    evaluates exactly the same physical positions as a single big run.
+    """
+    if isep_start < 1:
+        raise ValueError(f"isep_start is 1-based, got {isep_start}")
+    if total_nsep is None:
+        total_nsep = (nsep or 1) + isep_start - 1
+    if nsep is None:
+        nsep = total_nsep - isep_start + 1
+    if isep_start + nsep - 1 > total_nsep:
+        raise ValueError(
+            f"slice [{isep_start}, {isep_start + nsep - 1}] exceeds "
+            f"total_nsep={total_nsep}"
+        )
+    all_positions = ligand_start_positions(
+        starting_positions(receptor, total_nsep), ligand
+    )
+    couples = orientation_couples(n_couples)
+    gammas = gamma_values(n_gamma)
+
+    shape = (nsep, n_couples, n_gamma)
+    result = DockingResult(
+        receptor=receptor.name,
+        ligand=ligand.name,
+        isep_start=isep_start,
+        e_lj=np.empty(shape),
+        e_elec=np.empty(shape),
+        positions=np.empty(shape + (3,)),
+        eulers=np.empty(shape + (3,)),
+    )
+    for p in range(nsep):
+        pos = all_positions[isep_start - 1 + p]
+        lj, el, fpos, feul = dock_position(
+            receptor, ligand, pos, couples, gammas, minimize, max_iterations,
+            energy_params=energy_params,
+        )
+        result.e_lj[p], result.e_elec[p] = lj, el
+        result.positions[p], result.eulers[p] = fpos, feul
+    return result
+
+
+class MaxDoRun:
+    """A checkpointed MAXDo workunit execution.
+
+    Mirrors the agent-visible behaviour: results stream to a partial file,
+    a checkpoint is committed after every starting position, and the run
+    can be stopped (`max_positions`) and later resumed from disk.
+
+    Parameters
+    ----------
+    workdir:
+        Directory for the partial result file and checkpoint.
+    minimize:
+        Full minimization (True) or starting-pose evaluation only.
+    """
+
+    def __init__(
+        self,
+        receptor: ReducedProtein,
+        ligand: ReducedProtein,
+        isep_start: int,
+        nsep: int,
+        total_nsep: int,
+        workdir: Path | str,
+        n_couples: int = N_COUPLES,
+        n_gamma: int = N_GAMMA,
+        minimize: bool = True,
+        max_iterations: int = 60,
+    ) -> None:
+        self.receptor = receptor
+        self.ligand = ligand
+        self.isep_start = isep_start
+        self.nsep = nsep
+        self.total_nsep = total_nsep
+        self.n_couples = n_couples
+        self.n_gamma = n_gamma
+        self.minimize = minimize
+        self.max_iterations = max_iterations
+        self.workdir = Path(workdir)
+        self.workdir.mkdir(parents=True, exist_ok=True)
+        self._header = ResultHeader(
+            receptor=receptor.name,
+            ligand=ligand.name,
+            isep_start=isep_start,
+            nsep=nsep,
+            n_couples=n_couples,
+            n_gamma=n_gamma,
+        )
+
+    @property
+    def partial_path(self) -> Path:
+        stem = f"{self.receptor.name}_{self.ligand.name}_{self.isep_start}"
+        return self.workdir / f"{stem}.partial"
+
+    @property
+    def checkpoint_path(self) -> Path:
+        return self.partial_path.with_suffix(".ckpt")
+
+    def _load_state(self) -> Checkpoint:
+        if self.checkpoint_path.exists():
+            ckpt = Checkpoint.load(self.checkpoint_path)
+            # A kill mid-position leaves uncommitted lines: roll them back.
+            rollback_partial_results(self.partial_path, ckpt)
+            return ckpt
+        ckpt = Checkpoint(
+            receptor=self.receptor.name,
+            ligand=self.ligand.name,
+            isep_start=self.isep_start,
+            nsep=self.nsep,
+            n_couples=self.n_couples,
+            n_gamma=self.n_gamma,
+            positions_done=0,
+        )
+        write_results(self.partial_path, self._header, [])
+        ckpt.save(self.checkpoint_path)
+        return ckpt
+
+    def run(self, max_positions: int | None = None) -> Checkpoint:
+        """(Re)start the workunit; stop after ``max_positions`` positions.
+
+        Returns the checkpoint reached.  Call again (without
+        ``max_positions``) to run to completion — resumption picks up from
+        the last committed starting position, as in the paper.
+        """
+        ckpt = self._load_state()
+        couples = orientation_couples(self.n_couples)
+        gammas = gamma_values(self.n_gamma)
+        all_positions = ligand_start_positions(
+            starting_positions(self.receptor, self.total_nsep), self.ligand
+        )
+        done_now = 0
+        with self.partial_path.open("a", encoding="ascii") as fh:
+            while not ckpt.complete:
+                if max_positions is not None and done_now >= max_positions:
+                    break
+                index = ckpt.positions_done  # 0-based within the slice
+                isep = self.isep_start + index
+                pos = all_positions[isep - 1]
+                lj, el, fpos, feul = dock_position(
+                    self.receptor,
+                    self.ligand,
+                    pos,
+                    couples,
+                    gammas,
+                    self.minimize,
+                    self.max_iterations,
+                )
+                e_total = lj + el
+                best = e_total.argmin(axis=1)
+                lines = [
+                    format_record(
+                        isep, c + 1, int(best[c]) + 1,
+                        fpos[c, best[c]], feul[c, best[c]],
+                        float(lj[c, best[c]]), float(el[c, best[c]]),
+                    )
+                    for c in range(self.n_couples)
+                ]
+                append_records(fh, lines)
+                fh.flush()
+                ckpt = ckpt.advanced()
+                ckpt.save(self.checkpoint_path)
+                done_now += 1
+        return ckpt
+
+    def finalize(self) -> Path:
+        """Promote a complete partial file to its final result file."""
+        ckpt = Checkpoint.load(self.checkpoint_path)
+        if not ckpt.complete:
+            raise RuntimeError(
+                f"workunit incomplete: {ckpt.positions_done}/{ckpt.nsep} positions"
+            )
+        final = self.partial_path.with_suffix(".result")
+        self.partial_path.replace(final)
+        self.checkpoint_path.unlink()
+        return final
+
+    def result_table(self):
+        """Parse whatever the partial file currently holds."""
+        return read_results(self.partial_path)

@@ -1,0 +1,197 @@
+"""MAXDo result-file format.
+
+"The output of the MAXDo program is a simple text file that contains on each
+line the coordinate of the ligand and its orientation, and then the
+interaction energies values" (Section 5.2).
+
+We reproduce that shape: a small ``#``-prefixed header identifying the
+couple and the isep range, then **one line per (isep, irot couple)** — the
+optimum over the 10 gamma spins of that orientation couple::
+
+    isep irot igamma x y z alpha beta gamma E_lj E_elec E_tot
+
+where ``igamma`` is the index of the winning spin and the pose/energies are
+the minimization optimum.  One line per orientation *couple* (not per
+gamma) is what the paper's dataset volume implies: 294,533 positions x 168
+ligands x 21 couples x ~118 bytes/line = 122 GB ~ the paper's 123 GB.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, TextIO
+
+import numpy as np
+
+__all__ = [
+    "ResultHeader",
+    "ResultTable",
+    "format_record",
+    "write_results",
+    "append_records",
+    "read_results",
+    "expected_line_count",
+    "BYTES_PER_LINE",
+]
+
+#: Size of one formatted data line in bytes (the fixed formats below,
+#: including the newline).  Used by the volume model.
+BYTES_PER_LINE = 118
+
+_HEADER_FIELDS = ("receptor", "ligand", "isep_start", "nsep", "n_couples", "n_gamma")
+
+_DTYPE = np.dtype(
+    [
+        ("isep", np.int64),
+        ("irot", np.int64),
+        ("igamma", np.int64),
+        ("x", np.float64),
+        ("y", np.float64),
+        ("z", np.float64),
+        ("alpha", np.float64),
+        ("beta", np.float64),
+        ("gamma", np.float64),
+        ("e_lj", np.float64),
+        ("e_elec", np.float64),
+        ("e_tot", np.float64),
+    ]
+)
+
+
+@dataclass(frozen=True)
+class ResultHeader:
+    """Identity of a result file: which couple, which isep slice."""
+
+    receptor: str
+    ligand: str
+    isep_start: int
+    nsep: int
+    n_couples: int
+    n_gamma: int
+
+    def lines(self) -> list[str]:
+        return [
+            "# MAXDo result file (repro)",
+            f"# receptor {self.receptor}",
+            f"# ligand {self.ligand}",
+            f"# isep_start {self.isep_start}",
+            f"# nsep {self.nsep}",
+            f"# n_couples {self.n_couples}",
+            f"# n_gamma {self.n_gamma}",
+        ]
+
+
+@dataclass
+class ResultTable:
+    """A parsed result file: header plus a structured record array."""
+
+    header: ResultHeader
+    records: np.ndarray  #: structured array with :data:`_DTYPE` fields
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+def expected_line_count(nsep: int, n_couples: int) -> int:
+    """Data lines a complete result file must contain (one line per
+    starting position and orientation couple)."""
+    return nsep * n_couples
+
+
+def format_record(
+    isep: int,
+    irot: int,
+    igamma: int,
+    position: np.ndarray,
+    euler: np.ndarray,
+    e_lj: float,
+    e_elec: float,
+) -> str:
+    """Format one evaluation as a result-file data line (no newline)."""
+    x, y, z = position
+    a, b, g = euler
+    return (
+        f"{isep:7d} {irot:3d} {igamma:3d} "
+        f"{x:10.3f} {y:10.3f} {z:10.3f} "
+        f"{a:8.4f} {b:8.4f} {g:8.4f} "
+        f"{e_lj:13.4f} {e_elec:13.4f} {e_lj + e_elec:13.4f}"
+    )
+
+
+def write_results(
+    path: Path | str, header: ResultHeader, lines: Iterable[str]
+) -> int:
+    """Write a complete result file; returns the number of data lines."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="ascii") as fh:
+        for line in header.lines():
+            fh.write(line + "\n")
+        for line in lines:
+            fh.write(line + "\n")
+            count += 1
+    return count
+
+
+def append_records(fh: TextIO, lines: Iterable[str]) -> int:
+    """Append data lines to an open result file; returns lines written."""
+    count = 0
+    for line in lines:
+        fh.write(line + "\n")
+        count += 1
+    return count
+
+
+def _parse_header(lines: list[str]) -> ResultHeader:
+    values: dict[str, str] = {}
+    for line in lines:
+        parts = line[1:].split()
+        if len(parts) == 2 and parts[0] in _HEADER_FIELDS:
+            values[parts[0]] = parts[1]
+    missing = [f for f in _HEADER_FIELDS if f not in values]
+    if missing:
+        raise ValueError(f"result header missing fields: {missing}")
+    return ResultHeader(
+        receptor=values["receptor"],
+        ligand=values["ligand"],
+        isep_start=int(values["isep_start"]),
+        nsep=int(values["nsep"]),
+        n_couples=int(values["n_couples"]),
+        n_gamma=int(values["n_gamma"]),
+    )
+
+
+def read_results(path: Path | str) -> ResultTable:
+    """Parse a result file written by :func:`write_results`.
+
+    Raises ``ValueError`` on malformed headers or data lines; the validator
+    (:mod:`repro.validation.checks`) relies on these errors to reject
+    corrupted volunteer uploads.
+    """
+    path = Path(path)
+    header_lines: list[str] = []
+    data = io.StringIO()
+    n_data = 0
+    with path.open("r", encoding="ascii") as fh:
+        for line in fh:
+            if line.startswith("#"):
+                header_lines.append(line.rstrip("\n"))
+            elif line.strip():
+                data.write(line)
+                n_data += 1
+    header = _parse_header(header_lines)
+    if n_data:
+        data.seek(0)
+        raw = np.loadtxt(data, ndmin=2)
+        if raw.shape[1] != len(_DTYPE.names):
+            raise ValueError(
+                f"expected {len(_DTYPE.names)} columns, got {raw.shape[1]}"
+            )
+        records = np.zeros(raw.shape[0], dtype=_DTYPE)
+        for k, name in enumerate(_DTYPE.names):
+            records[name] = raw[:, k]
+    else:
+        records = np.zeros(0, dtype=_DTYPE)
+    return ResultTable(header=header, records=records)

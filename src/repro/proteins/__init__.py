@@ -1,0 +1,30 @@
+"""Synthetic reduced-protein substrate.
+
+The paper docks 168 real proteins (selected from the Mintseris docking
+benchmark) using the Zacharias reduced protein model.  We cannot ship those
+structures, so this subpackage synthesizes deterministic *reduced* proteins —
+one bead per pseudo-residue, with van der Waals radii and partial charges —
+whose population statistics are calibrated to the paper:
+
+* the number of starting positions ``Nsep(p)`` around each protein follows
+  the distribution of Figure 2 (most proteins below 3,000, one above 8,000),
+* the sum of ``Nsep`` over all ordered couples equals the paper's maximum
+  workunit count (49,481,544).
+
+See :mod:`repro.proteins.model` for single-protein synthesis,
+:mod:`repro.proteins.surface` for starting-position geometry and
+:mod:`repro.proteins.library` for the calibrated 168-protein set.
+"""
+
+from .library import ProteinLibrary
+from .model import ReducedProtein, synthesize_protein
+from .surface import geometric_nsep, shell_radii, starting_positions
+
+__all__ = [
+    "ProteinLibrary",
+    "ReducedProtein",
+    "synthesize_protein",
+    "geometric_nsep",
+    "shell_radii",
+    "starting_positions",
+]

@@ -1,0 +1,129 @@
+"""Reduced-protein file format.
+
+Workunits ship "the 2 proteins files + program + parameters (no more than
+2 Mo)" (Section 4.1).  This module defines the on-disk format of a reduced
+protein — a PDB-flavoured fixed-width text file with one ``BEAD`` record
+per pseudo-residue — and its parser.  The format is what
+:mod:`repro.boinc.files` packs into workunit input bundles.
+
+Example::
+
+    # repro reduced protein v1
+    NAME  P001
+    NBEAD 194
+    BEAD     1   12.34500   -3.21000    7.89000  2.7000  0.2100  -0.50000
+    ...
+    END
+
+Columns of a BEAD record: index, x, y, z (Angstrom), van der Waals radius,
+LJ well depth, partial charge.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .model import ReducedProtein
+
+__all__ = ["write_protein", "read_protein", "protein_file_bytes", "FORMAT_VERSION"]
+
+FORMAT_VERSION = 1
+
+#: Exact byte width of one BEAD record including the newline; the 2 MB
+#: workunit budget check uses it.
+BEAD_RECORD_BYTES = 67
+
+
+def _bead_record(index: int, coord: np.ndarray, radius: float,
+                 epsilon: float, charge: float) -> str:
+    return (
+        f"BEAD {index:5d} {coord[0]:10.5f} {coord[1]:10.5f} {coord[2]:10.5f} "
+        f"{radius:6.4f} {epsilon:6.4f} {charge:8.5f}"
+    )
+
+
+def write_protein(path: Path | str, protein: ReducedProtein) -> int:
+    """Write a reduced protein; returns the file size in bytes."""
+    path = Path(path)
+    lines = [
+        f"# repro reduced protein v{FORMAT_VERSION}",
+        f"NAME  {protein.name}",
+        f"NBEAD {protein.n_beads}",
+    ]
+    for k in range(protein.n_beads):
+        lines.append(
+            _bead_record(
+                k + 1,
+                protein.coords[k],
+                float(protein.radii[k]),
+                float(protein.epsilons[k]),
+                float(protein.charges[k]),
+            )
+        )
+    lines.append("END")
+    text = "\n".join(lines) + "\n"
+    path.write_text(text, encoding="ascii")
+    return len(text)
+
+
+def read_protein(path: Path | str) -> ReducedProtein:
+    """Parse a reduced-protein file written by :func:`write_protein`.
+
+    Raises ``ValueError`` on malformed files: wrong magic, bead-count
+    mismatch, missing END, or unparsable records.
+    """
+    path = Path(path)
+    lines = path.read_text(encoding="ascii").splitlines()
+    if not lines or not lines[0].startswith("# repro reduced protein v"):
+        raise ValueError(f"{path.name}: not a reduced-protein file")
+    version = int(lines[0].rsplit("v", 1)[1])
+    if version != FORMAT_VERSION:
+        raise ValueError(f"{path.name}: unsupported format version {version}")
+
+    name: str | None = None
+    n_beads: int | None = None
+    beads: list[tuple[float, ...]] = []
+    ended = False
+    for line in lines[1:]:
+        if not line.strip() or line.startswith("#"):
+            continue
+        if line.startswith("NAME"):
+            name = line.split(maxsplit=1)[1].strip()
+        elif line.startswith("NBEAD"):
+            n_beads = int(line.split()[1])
+        elif line.startswith("BEAD"):
+            parts = line.split()
+            if len(parts) != 8:
+                raise ValueError(f"{path.name}: malformed BEAD record: {line!r}")
+            beads.append(tuple(float(p) for p in parts[2:]))
+        elif line.strip() == "END":
+            ended = True
+            break
+        else:
+            raise ValueError(f"{path.name}: unexpected line: {line!r}")
+    if name is None or n_beads is None:
+        raise ValueError(f"{path.name}: missing NAME or NBEAD header")
+    if not ended:
+        raise ValueError(f"{path.name}: truncated file (no END record)")
+    if len(beads) != n_beads:
+        raise ValueError(
+            f"{path.name}: NBEAD says {n_beads} but found {len(beads)} records"
+        )
+    data = np.asarray(beads, dtype=np.float64)
+    return ReducedProtein(
+        name=name,
+        coords=data[:, 0:3],
+        radii=data[:, 3],
+        epsilons=data[:, 4],
+        charges=data[:, 5],
+    )
+
+
+def protein_file_bytes(n_beads: int) -> int:
+    """Projected file size for a protein of ``n_beads`` (budget checks)."""
+    header = len("# repro reduced protein v1\n") + len("NAME  PXXXXXX\n") + len(
+        "NBEAD 99999\n"
+    ) + len("END\n")
+    return header + n_beads * BEAD_RECORD_BYTES

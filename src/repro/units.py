@@ -1,0 +1,149 @@
+"""Time and size units used throughout the reproduction.
+
+The paper reports CPU durations in the ``y:d:h:m:s`` format (for example the
+phase-I total of ``1,488:237:19:45:54``).  Working back from the figures in
+the paper, one "year" in that notation is 365 days; this module adopts the
+same convention so that reproduced quantities can be compared digit by digit.
+
+All simulation code keeps durations as plain ``float`` seconds; formatting
+only happens at the reporting boundary.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+SECONDS_PER_MINUTE = 60
+SECONDS_PER_HOUR = 3600
+SECONDS_PER_DAY = 86_400
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+#: The paper's ``y:d:h:m:s`` notation uses 365-day years.
+SECONDS_PER_YEAR = 365 * SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class YDHMS:
+    """A duration decomposed in the paper's ``y:d:h:m:s`` notation."""
+
+    years: int
+    days: int
+    hours: int
+    minutes: int
+    seconds: int
+
+    def __str__(self) -> str:
+        return (
+            f"{self.years:,}:{self.days:03d}:{self.hours:02d}:"
+            f"{self.minutes:02d}:{self.seconds:02d}"
+        )
+
+    def to_seconds(self) -> int:
+        """Recompose the duration into integral seconds."""
+        return (
+            self.years * SECONDS_PER_YEAR
+            + self.days * SECONDS_PER_DAY
+            + self.hours * SECONDS_PER_HOUR
+            + self.minutes * SECONDS_PER_MINUTE
+            + self.seconds
+        )
+
+
+def seconds_to_ydhms(seconds: float) -> YDHMS:
+    """Decompose a duration in seconds into the paper's ``y:d:h:m:s`` parts.
+
+    Fractional seconds are truncated, matching the paper's integral report.
+
+    >>> str(seconds_to_ydhms(46_946_115_954))
+    '1,488:237:19:45:54'
+    """
+    if seconds < 0:
+        raise ValueError(f"duration must be non-negative, got {seconds!r}")
+    total = int(seconds)
+    years, rem = divmod(total, SECONDS_PER_YEAR)
+    days, rem = divmod(rem, SECONDS_PER_DAY)
+    hours, rem = divmod(rem, SECONDS_PER_HOUR)
+    minutes, secs = divmod(rem, SECONDS_PER_MINUTE)
+    return YDHMS(years, days, hours, minutes, secs)
+
+
+def parse_ydhms(text: str) -> int:
+    """Parse a ``y:d:h:m:s`` string (commas allowed in the year part).
+
+    >>> parse_ydhms("1,488:237:19:45:54")
+    46946115954
+    """
+    parts = text.replace(",", "").split(":")
+    if len(parts) != 5:
+        raise ValueError(f"expected 5 colon-separated fields, got {text!r}")
+    y, d, h, m, s = (int(p) for p in parts)
+    for name, value, bound in (
+        ("days", d, 365),
+        ("hours", h, 24),
+        ("minutes", m, 60),
+        ("seconds", s, 60),
+    ):
+        if not 0 <= value < bound:
+            raise ValueError(f"{name} field out of range in {text!r}")
+    if y < 0:
+        raise ValueError(f"years must be non-negative in {text!r}")
+    return YDHMS(y, d, h, m, s).to_seconds()
+
+
+def hours(value: float) -> float:
+    """Convert hours to seconds."""
+    return value * SECONDS_PER_HOUR
+
+
+def days(value: float) -> float:
+    """Convert days to seconds."""
+    return value * SECONDS_PER_DAY
+
+
+def weeks(value: float) -> float:
+    """Convert weeks to seconds."""
+    return value * SECONDS_PER_WEEK
+
+
+def years(value: float) -> float:
+    """Convert (365-day) years to seconds."""
+    return value * SECONDS_PER_YEAR
+
+
+def format_duration(seconds: float) -> str:
+    """Human-oriented duration string choosing an adequate unit.
+
+    >>> format_duration(90)
+    '1.5 min'
+    >>> format_duration(7200)
+    '2 h'
+    """
+    if seconds < 0:
+        raise ValueError("duration must be non-negative")
+    if seconds < SECONDS_PER_MINUTE:
+        return f"{seconds:.3g} s"
+    if seconds < SECONDS_PER_HOUR:
+        return f"{seconds / SECONDS_PER_MINUTE:.3g} min"
+    if seconds < SECONDS_PER_DAY:
+        return f"{seconds / SECONDS_PER_HOUR:.3g} h"
+    if seconds < SECONDS_PER_YEAR:
+        return f"{seconds / SECONDS_PER_DAY:.3g} d"
+    return f"{seconds / SECONDS_PER_YEAR:.4g} y"
+
+
+_SIZE_UNITS = ("B", "KiB", "MiB", "GiB", "TiB", "PiB")
+
+
+def format_bytes(n_bytes: float) -> str:
+    """Binary-unit byte formatting used in dataset volume reports.
+
+    >>> format_bytes(123 * 1024**3)
+    '123 GiB'
+    """
+    if n_bytes < 0:
+        raise ValueError("byte count must be non-negative")
+    if n_bytes == 0:
+        return "0 B"
+    exponent = min(int(math.log(n_bytes, 1024)), len(_SIZE_UNITS) - 1)
+    value = n_bytes / 1024**exponent
+    return f"{value:.4g} {_SIZE_UNITS[exponent]}"

@@ -1,0 +1,24 @@
+"""Result processing and verification (Section 5.2).
+
+When a protein had been docked against all 168 others, WCG shipped the
+results to a storage server where they were validated with three checks —
+correct number of files, correct number of lines per file, values within
+valid ranges — then merged into one file per couple (123 GB of text for
+phase I).
+
+* :mod:`repro.validation.checks` — the three checks;
+* :mod:`repro.validation.merge` — per-couple merging and the dataset
+  volume model.
+"""
+
+from .checks import CheckReport, ValueRanges, check_batch, check_result_file
+from .merge import dataset_volume, merge_couple_results
+
+__all__ = [
+    "CheckReport",
+    "ValueRanges",
+    "check_batch",
+    "check_result_file",
+    "dataset_volume",
+    "merge_couple_results",
+]

@@ -1,0 +1,117 @@
+"""Per-couple result merging and the dataset volume model (Section 5.2).
+
+Workunits slice a couple's starting positions, so a couple's results arrive
+in several files; "when the files were checked, we merged result files in
+order to have one result file for one couple of proteins.  All these result
+files represents 123 Gb of text files (45 Gb compressed) and there are
+168^2 files."
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from .. import constants
+from ..maxdo.resultfile import (
+    BYTES_PER_LINE,
+    ResultHeader,
+    format_record,
+    read_results,
+    write_results,
+)
+from ..proteins.library import ProteinLibrary
+
+__all__ = ["merge_couple_results", "DatasetVolume", "dataset_volume"]
+
+
+def merge_couple_results(chunk_paths: list[Path | str], out_path: Path | str) -> int:
+    """Merge one couple's workunit result files into a single file.
+
+    Chunks must belong to the same couple, tile ``[1..Nsep]`` exactly
+    (no gap, no overlap) and pass individual parsing; the merged file is
+    sorted by ``(isep, irot, igamma)``.  Returns the merged line count.
+    """
+    if not chunk_paths:
+        raise ValueError("nothing to merge")
+    tables = [read_results(p) for p in chunk_paths]
+    first = tables[0].header
+    for t in tables:
+        if (t.header.receptor, t.header.ligand) != (first.receptor, first.ligand):
+            raise ValueError(
+                f"cannot merge couples {t.header.receptor}-{t.header.ligand} and "
+                f"{first.receptor}-{first.ligand}"
+            )
+    slices = sorted((t.header.isep_start, t.header.nsep) for t in tables)
+    cursor = 1
+    for start, nsep in slices:
+        if start != cursor:
+            kind = "overlap" if start < cursor else "gap"
+            raise ValueError(f"isep {kind} at {start} (expected {cursor})")
+        cursor = start + nsep
+    total_nsep = cursor - 1
+
+    records = np.concatenate([t.records for t in tables])
+    order = np.lexsort((records["igamma"], records["irot"], records["isep"]))
+    records = records[order]
+    header = ResultHeader(
+        receptor=first.receptor,
+        ligand=first.ligand,
+        isep_start=1,
+        nsep=total_nsep,
+        n_couples=first.n_couples,
+        n_gamma=first.n_gamma,
+    )
+    lines = (
+        format_record(
+            int(r["isep"]),
+            int(r["irot"]),
+            int(r["igamma"]),
+            np.array([r["x"], r["y"], r["z"]]),
+            np.array([r["alpha"], r["beta"], r["gamma"]]),
+            float(r["e_lj"]),
+            float(r["e_elec"]),
+        )
+        for r in records
+    )
+    return write_results(out_path, header, lines)
+
+
+@dataclass(frozen=True)
+class DatasetVolume:
+    """Projected size of the merged result dataset."""
+
+    n_files: int
+    total_lines: int
+    raw_bytes: int
+    #: text compresses roughly 2.7:1 (paper: 123 GB -> 45 GB)
+    compression_ratio: float = 123.0 / 45.0
+
+    @property
+    def raw_gib(self) -> float:
+        return self.raw_bytes / 1024**3
+
+    @property
+    def compressed_bytes(self) -> int:
+        return int(self.raw_bytes / self.compression_ratio)
+
+    @property
+    def compressed_gib(self) -> float:
+        return self.compressed_bytes / 1024**3
+
+
+def dataset_volume(library: ProteinLibrary) -> DatasetVolume:
+    """Volume of the full phase-style dataset for ``library``.
+
+    One merged file per ordered couple; one line per
+    (starting position, orientation couple) optimum.
+    """
+    n = len(library)
+    lines = int(library.nsep.sum()) * n * constants.N_ROT_COUPLES
+    return DatasetVolume(
+        n_files=n * n,
+        total_lines=lines,
+        raw_bytes=lines * BYTES_PER_LINE,
+    )

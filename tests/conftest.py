@@ -1,0 +1,56 @@
+"""Shared fixtures.
+
+Expensive calibrated objects (the phase-1 library, cost models) are
+session-scoped; tests must treat them as read-only.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maxdo.cost_model import CostModel
+from repro.proteins.library import ProteinLibrary
+from repro.proteins.model import synthesize_protein
+from repro.rng import stream
+
+
+@pytest.fixture(scope="session")
+def phase1_library() -> ProteinLibrary:
+    """The full calibrated 168-protein library (read-only)."""
+    return ProteinLibrary.phase1()
+
+
+@pytest.fixture(scope="session")
+def phase1_cost_model(phase1_library) -> CostModel:
+    """The calibrated 168x168 cost matrix (read-only)."""
+    return CostModel.calibrated(phase1_library)
+
+
+@pytest.fixture(scope="session")
+def small_library() -> ProteinLibrary:
+    """A 12-protein library with phase-1 per-protein statistics."""
+    return ProteinLibrary.synthetic(n_proteins=12, seed=42)
+
+
+@pytest.fixture(scope="session")
+def small_cost_model(small_library) -> CostModel:
+    return CostModel.calibrated(small_library)
+
+
+@pytest.fixture(scope="session")
+def tiny_receptor():
+    """A small receptor protein for docking-engine tests."""
+    return synthesize_protein("REC", 30, stream(7, "tiny-receptor"))
+
+
+@pytest.fixture(scope="session")
+def tiny_ligand():
+    """A small ligand protein for docking-engine tests."""
+    return synthesize_protein("LIG", 20, stream(7, "tiny-ligand"))
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)

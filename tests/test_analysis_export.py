@@ -1,0 +1,115 @@
+"""Tests for repro.analysis.export: CSV/JSON artifact exporters."""
+
+from __future__ import annotations
+
+import csv
+import json
+
+import numpy as np
+import pytest
+
+from repro.analysis.export import (
+    export_histogram_csv,
+    export_json,
+    export_series_csv,
+)
+
+
+class TestSeriesCsv:
+    def test_roundtrip(self, tmp_path):
+        path = export_series_csv(
+            tmp_path / "s.csv",
+            {"week": np.arange(3), "vftp": np.array([1.5, 2.0, 2.5])},
+        )
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["week", "vftp"]
+        assert rows[1] == ["0", "1.5"]
+        assert len(rows) == 4
+
+    def test_integers_written_without_decimal(self, tmp_path):
+        path = export_series_csv(tmp_path / "s.csv", {"n": [1.0, 2.0]})
+        text = path.read_text()
+        assert "1.0" not in text
+
+    def test_mismatched_lengths_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series_csv(tmp_path / "s.csv", {"a": [1], "b": [1, 2]})
+
+    def test_empty_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_series_csv(tmp_path / "s.csv", {})
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = export_series_csv(tmp_path / "deep" / "s.csv", {"a": [1]})
+        assert path.exists()
+
+    def test_deterministic(self, tmp_path):
+        cols = {"x": np.linspace(0, 1, 7)}
+        a = export_series_csv(tmp_path / "a.csv", cols).read_text()
+        b = export_series_csv(tmp_path / "b.csv", cols).read_text()
+        assert a == b
+
+
+class TestHistogramCsv:
+    def test_rows(self, tmp_path):
+        path = export_histogram_csv(
+            tmp_path / "h.csv", np.array([0.0, 1.0, 2.0]), np.array([5, 7])
+        )
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert rows[0] == ["bin_low", "bin_high", "count"]
+        assert rows[1] == ["0", "1", "5"]
+
+    def test_shape_validation(self, tmp_path):
+        with pytest.raises(ValueError):
+            export_histogram_csv(
+                tmp_path / "h.csv", np.array([0.0, 1.0]), np.array([1, 2])
+            )
+
+
+class TestJson:
+    def test_metadata_embedded(self, tmp_path):
+        path = export_json(
+            tmp_path / "a.json", {"vftp": np.array([1.0, 2.0])},
+            experiment="Figure 6a",
+        )
+        doc = json.loads(path.read_text())
+        assert doc["_meta"]["experiment"] == "Figure 6a"
+        assert "Volunteer Grid" in doc["_meta"]["paper"]
+        assert doc["vftp"] == [1.0, 2.0]
+
+    def test_numpy_scalars_serialized(self, tmp_path):
+        path = export_json(
+            tmp_path / "a.json",
+            {"n": np.int64(5), "x": np.float64(2.5), "nested": {"v": np.arange(2)}},
+        )
+        doc = json.loads(path.read_text())
+        assert doc["n"] == 5
+        assert doc["nested"]["v"] == [0, 1]
+
+    def test_deterministic(self, tmp_path):
+        payload = {"b": 1, "a": [2, 3]}
+        x = export_json(tmp_path / "x.json", payload).read_text()
+        y = export_json(tmp_path / "y.json", payload).read_text()
+        assert x == y
+
+
+class TestEndToEndExport:
+    def test_fluid_series_exports(self, tmp_path, phase1_library, phase1_cost_model):
+        from repro.core.campaign import CampaignPlan
+        from repro.fluid import FluidCampaign
+
+        campaign = CampaignPlan(phase1_library, phase1_cost_model)
+        result = FluidCampaign(campaign, 12_000.0).run()
+        path = export_series_csv(
+            tmp_path / "fig6a.csv",
+            {
+                "week": result.weeks,
+                "vftp": result.vftp,
+                "results_useful": result.results_useful,
+            },
+        )
+        with path.open() as fh:
+            rows = list(csv.reader(fh))
+        assert len(rows) == len(result.weeks) + 1

@@ -1,0 +1,170 @@
+"""Tests for repro.analysis: distributions, progression, comparison, report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.analysis.comparison import EquivalenceTable
+from repro.analysis.distributions import (
+    distribution_summary,
+    histogram,
+    hour_bins,
+    nsep_bins,
+)
+from repro.analysis.progression import progression_anchor, progression_curve
+from repro.analysis.report import (
+    format_number,
+    paper_vs_measured,
+    render_histogram,
+    render_table,
+)
+from repro.core.campaign import CampaignPlan
+from repro.core.metrics import CampaignMetrics
+from repro.units import SECONDS_PER_WEEK
+
+
+class TestBins:
+    def test_hour_bins(self):
+        edges = hour_bins(4, 1)
+        assert edges.tolist() == [0.0, 3600.0, 7200.0, 10800.0, 14400.0]
+
+    def test_hour_bins_validation(self):
+        with pytest.raises(ValueError):
+            hour_bins(0)
+
+    def test_nsep_bins_cover_figure2(self):
+        edges = nsep_bins()
+        assert edges[0] == 0 and edges[-1] >= 8500
+
+
+class TestHistogram:
+    def test_counts_sum_preserved_with_clipping(self):
+        values = np.array([-5.0, 0.5, 1.5, 99.0])
+        _, counts = histogram(values, np.array([0.0, 1.0, 2.0]))
+        assert counts.sum() == 4  # nothing dropped
+
+    def test_no_clip_drops_out_of_range(self):
+        values = np.array([-5.0, 0.5, 99.0])
+        _, counts = histogram(values, np.array([0.0, 1.0]), clip=False)
+        assert counts.sum() == 1
+
+    def test_weights(self):
+        values = np.array([0.5, 0.5])
+        _, counts = histogram(
+            values, np.array([0.0, 1.0]), weights=np.array([2.0, 3.0])
+        )
+        assert counts[0] == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            histogram(np.array([1.0]), np.array([0.0]))
+
+
+class TestDistributionSummary:
+    def test_unweighted(self):
+        s = distribution_summary(np.array([1.0, 2.0, 3.0]))
+        assert s["mean"] == 2.0 and s["median"] == 2.0
+
+    def test_weighted_matches_expansion(self):
+        values = np.array([1.0, 10.0])
+        weights = np.array([9.0, 1.0])
+        s = distribution_summary(values, weights)
+        expanded = np.array([1.0] * 9 + [10.0])
+        assert s["mean"] == pytest.approx(expanded.mean())
+        assert s["median"] == 1.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            distribution_summary(np.array([]))
+
+
+class TestProgression:
+    def test_anchor_on_phase1(self, phase1_library, phase1_cost_model):
+        campaign = CampaignPlan(phase1_library, phase1_cost_model)
+        protein_frac, work_frac = progression_anchor(campaign, 0.47)
+        assert work_frac == pytest.approx(0.47)
+        assert protein_frac == pytest.approx(0.85, abs=0.06)
+
+    def test_curve_shapes(self, small_library, small_cost_model):
+        campaign = CampaignPlan(small_library, small_cost_model)
+        snap = campaign.snapshot(0.4 * campaign.total_work)
+        x, done, total = progression_curve(campaign, snap)
+        assert len(x) == len(small_library)
+        assert (done <= total + 1e-9).all()
+        assert total[-1] == pytest.approx(100.0)
+
+    def test_anchor_validation(self, small_library, small_cost_model):
+        campaign = CampaignPlan(small_library, small_cost_model)
+        with pytest.raises(ValueError):
+            progression_anchor(campaign, 1.5)
+
+
+class TestEquivalence:
+    def _metrics(self, weeks, vftp_scale):
+        consumed = vftp_scale * weeks * SECONDS_PER_WEEK
+        return CampaignMetrics(
+            span_seconds=weeks * SECONDS_PER_WEEK,
+            consumed_cpu_s=consumed,
+            useful_reference_cpu_s=consumed / 5.43,
+            results_disclosed=137,
+            results_effective=100,
+        )
+
+    def test_table2_shape(self):
+        table = EquivalenceTable.from_metrics(
+            self._metrics(26, 16_450), self._metrics(13, 26_248)
+        )
+        rows = table.rows()
+        assert rows[0][1] == 16_450
+        assert rows[1][1] == 26_248
+        assert rows[0][2] == pytest.approx(C.DEDICATED_EQUIV_WHOLE_PERIOD, abs=5)
+        assert rows[1][2] == pytest.approx(C.DEDICATED_EQUIV_FULL_POWER, abs=5)
+
+    def test_week_equivalent(self):
+        # 74,825 VFTP week -> ~18,895 dedicated processors.
+        assert EquivalenceTable.current_week_equivalent(
+            C.WCG_WEEK_VFTP, C.SPEED_DOWN_NET
+        ) == pytest.approx(C.WCG_WEEK_DEDICATED_EQUIV, abs=10)
+
+    def test_week_equivalent_validation(self):
+        with pytest.raises(ValueError):
+            EquivalenceTable.current_week_equivalent(100.0, 0.0)
+
+
+class TestReport:
+    def test_render_table(self):
+        text = render_table(["name", "value"], [["x", 1], ["y", 2.5]])
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert len(lines) == 4
+
+    def test_render_table_rejects_ragged(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_render_histogram(self):
+        text = render_histogram(np.array([0.0, 1.0, 2.0]), np.array([10, 5]))
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert "#" in lines[0]
+
+    def test_render_histogram_validation(self):
+        with pytest.raises(ValueError):
+            render_histogram(np.array([0.0, 1.0]), np.array([1, 2]))
+
+    def test_paper_vs_measured_delta(self):
+        text = paper_vs_measured([("workunits", 100, 105)])
+        assert "+5.0%" in text
+
+    def test_paper_vs_measured_strings_ok(self):
+        text = paper_vs_measured([("total", "1,488y", "1,488y")])
+        assert "1,488y" in text
+
+    @pytest.mark.parametrize(
+        "value,expected",
+        [(1_364_476, "1,364,476"), (2.5, "2.5"), ("x", "x"), (float("nan"), "-")],
+    )
+    def test_format_number(self, value, expected):
+        assert format_number(value) == expected

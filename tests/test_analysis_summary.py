@@ -1,0 +1,51 @@
+"""Tests for repro.analysis.summary: the one-page reproduction report."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.summary import full_report
+
+
+@pytest.fixture(scope="module")
+def report() -> str:
+    return full_report()
+
+
+class TestFullReport:
+    def test_all_sections_present(self, report):
+        for title in (
+            "Section 4.1 / Table 1",
+            "Section 4.2 / Figure 4",
+            "Section 5 / Figures 6-7",
+            "Section 6 / Table 2",
+            "Section 7 / Table 3",
+        ):
+            assert title in report
+
+    def test_headline_numbers_present(self, report):
+        assert "1,488:237:19:45:54" in report
+        assert "49,481,544" in report
+        assert "59,730" in report
+
+    def test_every_row_has_a_measured_value(self, report):
+        # No row of the report may come out empty or NaN-rendered.
+        for line in report.splitlines():
+            assert " nan" not in line.lower()
+
+    def test_deltas_are_tight(self, report):
+        # Every numeric delta printed stays within +-15% — the whole report
+        # doubles as a regression gate for the calibrated pipeline.
+        import re
+
+        deltas = [
+            abs(float(m.group(1)))
+            for m in re.finditer(r"([+-]\d+(?:\.\d+)?)%", report)
+        ]
+        assert deltas, "no deltas rendered"
+        assert max(deltas) <= 15.0
+
+    def test_seed_changes_measured_not_structure(self):
+        other = full_report(seed=1234)
+        assert "Section 6 / Table 2" in other
+        assert other != full_report()

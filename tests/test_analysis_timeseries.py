@@ -1,0 +1,89 @@
+"""Tests for repro.analysis.timeseries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.timeseries import (
+    WeeklySeries,
+    cpu_days_to_vftp,
+    cpu_years_per_day_to_vftp,
+    segment_phases,
+)
+
+
+class TestConversions:
+    def test_cpu_days(self):
+        assert float(cpu_days_to_vftp(86_400.0)) == 1.0
+
+    def test_cpu_years_paper_example(self):
+        # "if for 1 day, 10 years of cpu time are consumed, it is equivalent
+        # to at least 3,650 processors" (Section 3.1).
+        assert float(cpu_years_per_day_to_vftp(10.0)) == 3650.0
+
+    def test_vectorized(self):
+        out = cpu_years_per_day_to_vftp(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(out, [365.0, 730.0])
+
+
+class TestWeeklySeries:
+    def test_from_daily(self):
+        daily = np.concatenate([np.full(7, 2.0), np.full(7, 4.0)])
+        ws = WeeklySeries.from_daily(daily)
+        assert ws.values.tolist() == [2.0, 4.0]
+
+    def test_from_daily_drops_partial_week(self):
+        ws = WeeklySeries.from_daily(np.ones(10))
+        assert len(ws) == 1
+
+    def test_from_daily_too_short(self):
+        with pytest.raises(ValueError):
+            WeeklySeries.from_daily(np.ones(5))
+
+    def test_average_window(self):
+        ws = WeeklySeries(np.array([1.0, 2.0, 3.0, 4.0]))
+        assert ws.average(1, 3) == 2.5
+
+    def test_average_empty_window(self):
+        ws = WeeklySeries(np.array([1.0]))
+        with pytest.raises(ValueError):
+            ws.average(5, 5)
+
+
+class TestSegmentPhases:
+    def _series(self):
+        # control ~1, ramp, full power ~10.
+        return np.concatenate([
+            np.full(9, 1.0),
+            np.linspace(1.5, 9.0, 4),
+            np.full(13, 10.0),
+        ])
+
+    def test_three_phases_partition(self):
+        phases = segment_phases(self._series())
+        spans = list(phases.values())
+        assert spans[0][0] == 0
+        assert spans[-1][1] == 26
+        for (a, b), (c, d) in zip(spans, spans[1:]):
+            assert b == c
+
+    def test_full_power_detected(self):
+        phases = segment_phases(self._series())
+        start, end = phases["full power working phase"]
+        assert 11 <= start <= 13
+        assert end == 26
+
+    def test_control_period_detected(self):
+        phases = segment_phases(self._series())
+        start, end = phases["control period"]
+        assert start == 0
+        assert 8 <= end <= 10
+
+    def test_too_short_rejected(self):
+        with pytest.raises(ValueError):
+            segment_phases(np.array([1.0, 2.0]))
+
+    def test_zero_series_rejected(self):
+        with pytest.raises(ValueError):
+            segment_phases(np.zeros(10))

@@ -1,0 +1,78 @@
+"""Tests for repro.boinc.capacity: the task-server capacity model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants as C
+from repro.boinc.capacity import ServerCapacityModel
+
+
+class TestLoadModel:
+    def test_results_per_day(self):
+        model = ServerCapacityModel()
+        # 1000 devices finishing a result every 13 h.
+        rate = model.results_per_day(1000, 13 * 3600)
+        assert rate == pytest.approx(1000 * 24 / 13)
+
+    def test_transactions_scale(self):
+        model = ServerCapacityModel(transactions_per_result=4)
+        assert model.transactions_per_day(100, 3600) == pytest.approx(
+            4 * model.results_per_day(100, 3600)
+        )
+
+    def test_utilization_linear_in_devices(self):
+        model = ServerCapacityModel()
+        u1 = model.utilization(10_000, 13 * 3600)
+        u2 = model.utilization(20_000, 13 * 3600)
+        assert u2 == pytest.approx(2 * u1)
+
+    def test_validation(self):
+        model = ServerCapacityModel()
+        with pytest.raises(ValueError):
+            model.results_per_day(-1, 3600)
+        with pytest.raises(ValueError):
+            model.results_per_day(10, 0)
+        with pytest.raises(ValueError):
+            ServerCapacityModel(max_results_per_day=0)
+        with pytest.raises(ValueError):
+            ServerCapacityModel(target_utilization=1.5)
+
+
+class TestPaperScale:
+    def test_phase1_load_is_sustainable(self):
+        # ~836k devices at ~13 h per result: well within the BOINC task
+        # server's measured throughput — WCG ran, after all.
+        model = ServerCapacityModel()
+        assert model.sustainable(C.WCG_DEVICES, C.WCG_RESULT_MEAN_S)
+
+    def test_tiny_workunits_overload(self):
+        # The same fleet returning results every 10 minutes would not be.
+        model = ServerCapacityModel()
+        assert not model.sustainable(C.WCG_DEVICES, 600.0)
+
+    def test_min_workunit_hours_reasonable(self):
+        # The constraint direction the paper states: the server bounds the
+        # workunit duration from below.  At WCG's fleet size the floor is
+        # well under the 10 h target (the human factor dominates), but it
+        # is not zero.
+        model = ServerCapacityModel()
+        floor_h = model.min_workunit_hours(C.WCG_DEVICES, C.SPEED_DOWN_NET)
+        assert 0.0 < floor_h < C.TARGET_WU_HOURS_NOMINAL
+
+    def test_min_workunit_monotone_in_fleet(self):
+        model = ServerCapacityModel()
+        small = model.min_workunit_hours(100_000, C.SPEED_DOWN_NET)
+        large = model.min_workunit_hours(1_000_000, C.SPEED_DOWN_NET)
+        assert large > small
+
+    def test_max_devices_inverts_min_hours(self):
+        model = ServerCapacityModel()
+        devices = model.max_devices(C.WCG_RESULT_MEAN_S)
+        # At the implied fleet size the load sits exactly at the target.
+        assert model.utilization(devices, C.WCG_RESULT_MEAN_S) == pytest.approx(
+            model.target_utilization
+        )
+
+    def test_zero_fleet(self):
+        assert ServerCapacityModel().min_workunit_hours(0, 3.96) == 0.0

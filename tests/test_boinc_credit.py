@@ -1,0 +1,180 @@
+"""Tests for repro.boinc.credit: UD/BOINC accounting and the points system."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.boinc.credit import (
+    AccountingMode,
+    CobblestoneScale,
+    HostBenchmark,
+    accounted_seconds,
+    claimed_credit,
+    vftp_from_credit,
+)
+from repro.boinc.simulator import scaled_phase1
+from repro.grid.availability import AvailabilityTrace
+from repro.grid.host import HostSpec
+
+
+def _spec(speed=1.0, duty=0.5):
+    return HostSpec(
+        host_id=0, speed=speed, duty_cycle=duty, reliability=1.0,
+        abandon_prob=0.0, report_delay_mean_s=1.0,
+        trace=AvailabilityTrace(np.array([0.0]), np.array([1e6]), 1e6),
+    )
+
+
+class TestAccountedSeconds:
+    def test_ud_bills_wall_clock(self):
+        # The UD agent "measures wall clock time rather than actual
+        # process execution time" (Section 6).
+        assert accounted_seconds(_spec(duty=0.5), 1000.0, AccountingMode.UD_WALL_CLOCK) == 1000.0
+
+    def test_boinc_bills_cpu_time(self):
+        assert accounted_seconds(_spec(duty=0.5), 1000.0, AccountingMode.BOINC_CPU_TIME) == 500.0
+
+    def test_ud_overstates_boinc(self):
+        spec = _spec(duty=0.6 * 0.5)
+        wall = 8 * 3600.0
+        ud = accounted_seconds(spec, wall, AccountingMode.UD_WALL_CLOCK)
+        boinc = accounted_seconds(spec, wall, AccountingMode.BOINC_CPU_TIME)
+        # "a computer ... that runs a workunit for 8 hours of wall clock
+        # time will at most only actually process work for 4.8 hours" —
+        # with contention it is less still.
+        assert ud == wall
+        assert boinc < 0.6 * wall
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            accounted_seconds(_spec(), -1.0, AccountingMode.UD_WALL_CLOCK)
+
+
+class TestClaimedCredit:
+    def test_boinc_credit_measures_reference_work(self):
+        # With CPU-time accounting and an exact benchmark, claimed credit
+        # equals the reference work done, regardless of host speed.
+        scale = CobblestoneScale()
+        reference_work = 7200.0  # 2 reference-hours
+        for speed in (0.5, 1.0, 2.0):
+            spec = _spec(speed=speed, duty=0.7)
+            wall = reference_work / spec.progress_rate
+            credit = claimed_credit(
+                spec, wall, AccountingMode.BOINC_CPU_TIME,
+                HostBenchmark(host_speed=speed), scale,
+            )
+            expected = reference_work / 86_400 * scale.points_per_reference_day
+            assert credit == pytest.approx(expected)
+
+    def test_ud_credit_inflated_by_throttle(self):
+        spec = _spec(speed=1.0, duty=0.5)
+        wall = 1000.0
+        ud = claimed_credit(
+            spec, wall, AccountingMode.UD_WALL_CLOCK, HostBenchmark(1.0)
+        )
+        boinc = claimed_credit(
+            spec, wall, AccountingMode.BOINC_CPU_TIME, HostBenchmark(1.0)
+        )
+        assert ud == pytest.approx(boinc / spec.duty_cycle)
+
+    def test_benchmark_bias_scales_claim(self):
+        spec = _spec()
+        base = claimed_credit(
+            spec, 100.0, AccountingMode.BOINC_CPU_TIME, HostBenchmark(1.0, 1.0)
+        )
+        biased = claimed_credit(
+            spec, 100.0, AccountingMode.BOINC_CPU_TIME, HostBenchmark(1.0, 1.1)
+        )
+        assert biased == pytest.approx(1.1 * base)
+
+    def test_benchmark_validation(self):
+        with pytest.raises(ValueError):
+            HostBenchmark(host_speed=0.0)
+
+
+class TestVftpFromCredit:
+    def test_reference_processor_is_one_vftp(self):
+        scale = CobblestoneScale()
+        points = scale.points_per_reference_day * 7  # a reference week
+        assert vftp_from_credit(points, 7 * 86_400.0, scale) == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            vftp_from_credit(10.0, 0.0)
+        with pytest.raises(ValueError):
+            vftp_from_credit(-1.0, 10.0)
+        with pytest.raises(ValueError):
+            CobblestoneScale(points_per_reference_day=0.0)
+
+
+class TestCampaignAccounting:
+    """Section 8's claim, measured: points-based VFTP tracks true useful
+    throughput far better than run-time-based VFTP, and is nearly
+    middleware independent."""
+
+    @pytest.fixture(scope="class")
+    def campaigns(self):
+        out = {}
+        for mode in AccountingMode:
+            sim = scaled_phase1(
+                scale=250, n_proteins=12, accounting=mode
+            )
+            out[mode] = sim.run()
+        return out
+
+    def test_ud_runtime_vftp_overstates(self, campaigns):
+        res = campaigns[AccountingMode.UD_WALL_CLOCK]
+        runtime_vftp = res.metrics().vftp
+        truth = res.vftp_from_useful_work()
+        assert runtime_vftp > 2.5 * truth  # the ~4x UD bias
+
+    def test_boinc_runtime_vftp_closer(self, campaigns):
+        ud = campaigns[AccountingMode.UD_WALL_CLOCK]
+        boinc = campaigns[AccountingMode.BOINC_CPU_TIME]
+        ud_err = ud.metrics().vftp / ud.vftp_from_useful_work()
+        boinc_err = boinc.metrics().vftp / boinc.vftp_from_useful_work()
+        # "BOINC measures run time more accurately than UD."
+        assert boinc_err < ud_err
+
+    def test_points_vftp_nearly_middleware_independent(self, campaigns):
+        estimates = {
+            mode: res.vftp_from_credit() / res.vftp_from_useful_work()
+            for mode, res in campaigns.items()
+        }
+        # With BOINC accounting, points estimate the true throughput to
+        # within redundancy + benchmark bias...
+        assert estimates[AccountingMode.BOINC_CPU_TIME] == pytest.approx(
+            C.REDUNDANCY_FACTOR, rel=0.25
+        )
+        # ...while UD runtime accounting overstates by ~2x between the
+        # middlewares (the "differences ... in what represents a virtual
+        # full-time processor" of Section 8).
+        ud_run = campaigns[AccountingMode.UD_WALL_CLOCK].metrics().vftp
+        boinc_run = campaigns[AccountingMode.BOINC_CPU_TIME].metrics().vftp
+        assert ud_run / boinc_run > 1.6
+
+    def test_points_remove_device_speed_dependence(self):
+        """The paper expects the points approach to 'allow us to observe
+        the trend toward more powerful processors': with runtime
+        accounting, slower devices inflate the reported VFTP per unit of
+        useful work; with points, the estimate is speed-invariant."""
+        results = {}
+        for label, median in (("slow", 0.55), ("fast", 1.4)):
+            sim = scaled_phase1(scale=250, n_proteins=12,
+                                accounting=AccountingMode.BOINC_CPU_TIME)
+            sim.host_model = sim.host_model.with_profile(speed_median=median)
+            results[label] = sim.run()
+        ratios = {
+            k: r.vftp_from_credit() / r.vftp_from_useful_work()
+            for k, r in results.items()
+        }
+        runtime_ratios = {
+            k: r.metrics().vftp / r.vftp_from_useful_work()
+            for k, r in results.items()
+        }
+        # Points per useful work: same for slow and fast fleets (~redundancy).
+        assert ratios["slow"] == pytest.approx(ratios["fast"], rel=0.10)
+        # Runtime per useful work: strongly speed-dependent.
+        assert runtime_ratios["slow"] > 1.5 * runtime_ratios["fast"]

@@ -1,0 +1,107 @@
+"""Property-based fuzzing of the volunteer-grid simulator.
+
+Hypothesis drives many tiny randomized campaigns and checks the invariants
+that must hold for *any* configuration:
+
+* conservation — every workunit is validated exactly once; useful
+  reference work equals the packaged total on completion;
+* accounting sanity — disclosed >= effective, redundancy >= 1, consumed
+  CPU positive whenever anything was disclosed;
+* determinism — a campaign replayed with the same seed produces the same
+  trajectory.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.boinc.simulator import scaled_phase1
+
+# Small-but-varied campaign configurations.
+campaign_configs = st.fixed_dictionaries({
+    "seed": st.integers(min_value=0, max_value=10_000),
+    "n_proteins": st.integers(min_value=3, max_value=8),
+    "scale": st.sampled_from([400.0, 700.0, 1000.0]),
+    "target_hours": st.sampled_from([1.5, 3.65, 8.0]),
+})
+
+
+def _run(config):
+    sim = scaled_phase1(
+        scale=config["scale"],
+        n_proteins=config["n_proteins"],
+        seed=config["seed"],
+        target_hours=config["target_hours"],
+        horizon_weeks=60.0,
+    )
+    return sim, sim.run()
+
+
+class TestInvariants:
+    @settings(max_examples=12, deadline=None)
+    @given(config=campaign_configs)
+    def test_conservation_and_accounting(self, config):
+        sim, result = _run(config)
+        stats = result.server.stats
+
+        # Accounting sanity regardless of completion.
+        assert stats.disclosed >= stats.effective
+        assert stats.effective <= result.server.n_workunits
+        if stats.disclosed:
+            assert stats.consumed_cpu_s > 0
+        if stats.effective:
+            assert stats.redundancy_factor >= 1.0
+            assert 0 < stats.useful_fraction <= 1.0
+
+        # Telemetry consistency with the server's books.
+        assert int(result.telemetry.daily_results.sum()) == stats.disclosed
+        assert int(result.telemetry.daily_useful.sum()) == stats.effective
+
+        if result.completion_time is not None:
+            # Conservation: exactly the packaged work was validated.
+            assert stats.effective == result.server.n_workunits
+            assert stats.useful_reference_s == pytest_approx(
+                sim.campaign.total_work
+            )
+            assert np.isfinite(result.batch_completion_s).all()
+
+    @settings(max_examples=6, deadline=None)
+    @given(config=campaign_configs)
+    def test_deterministic_replay(self, config):
+        _, a = _run(config)
+        _, b = _run(config)
+        assert a.completion_time == b.completion_time
+        assert a.server.stats.disclosed == b.server.stats.disclosed
+        assert a.server.stats.consumed_cpu_s == b.server.stats.consumed_cpu_s
+        np.testing.assert_array_equal(
+            a.telemetry.daily_results, b.telemetry.daily_results
+        )
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        config=campaign_configs,
+        reliability=st.floats(min_value=0.5, max_value=1.0),
+    )
+    def test_unreliable_fleets_still_conserve(self, config, reliability):
+        sim = scaled_phase1(
+            scale=config["scale"],
+            n_proteins=config["n_proteins"],
+            seed=config["seed"],
+            horizon_weeks=60.0,
+        )
+        sim.host_model = sim.host_model.with_profile(reliability=reliability)
+        result = sim.run()
+        stats = result.server.stats
+        assert stats.disclosed >= stats.effective
+        if result.completion_time is not None:
+            assert stats.effective == result.server.n_workunits
+        # Worse reliability can only add invalid results, never negative.
+        assert stats.invalid >= 0
+
+
+def pytest_approx(value):
+    import pytest
+
+    return pytest.approx(value, rel=1e-9)

@@ -1,0 +1,176 @@
+"""Tests for repro.boinc.server: workunit DB, deadlines, reissue, quorum."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boinc.server import GridServer, ServerConfig
+from repro.boinc.validator import ValidationPolicy
+from repro.core.workunit import WorkUnit
+from repro.grid.des import Simulator
+
+
+def _workunits(n=4, batch_size=2):
+    return [
+        (
+            WorkUnit(
+                wu_id=k, receptor=k // batch_size, ligand=0,
+                isep_start=1, nsep=5, cost_reference_s=1000.0,
+            ),
+            k // batch_size,
+        )
+        for k in range(n)
+    ]
+
+
+def _server(sim, n=4, switch_time=0.0, deadline=100.0, **kw):
+    # switch_time=0 -> bounds regime (single result validates) by default.
+    config = ServerConfig(
+        deadline_s=deadline, validation=ValidationPolicy(switch_time=switch_time)
+    )
+    return GridServer(sim, _workunits(n), config=config, **kw)
+
+
+class TestRequestWork:
+    def test_release_order(self):
+        sim = Simulator()
+        server = _server(sim)
+        first = server.request_work(host_id=1)
+        second = server.request_work(host_id=2)
+        assert first.wu.wu_id == 0
+        assert second.wu.wu_id == 1
+
+    def test_exhaustion_returns_none(self):
+        sim = Simulator()
+        server = _server(sim, n=2)
+        assert server.request_work(1) is not None
+        assert server.request_work(1) is not None
+        assert server.request_work(1) is None
+
+    def test_quorum_era_replicates(self):
+        sim = Simulator()
+        server = _server(sim, n=2, switch_time=1e9)  # always quorum
+        a = server.request_work(1)
+        b = server.request_work(2)
+        # Second request gets a COPY of workunit 0, not workunit 1.
+        assert a.wu.wu_id == 0 and b.wu.wu_id == 0
+
+    def test_id_position_validation(self):
+        sim = Simulator()
+        wus = _workunits(2)
+        wus[0], wus[1] = wus[1], wus[0]
+        with pytest.raises(ValueError):
+            GridServer(sim, wus)
+
+
+class TestResults:
+    def test_single_valid_result_validates_in_bounds_era(self):
+        sim = Simulator()
+        server = _server(sim)
+        inst = server.request_work(1)
+        server.on_result(inst, valid=True, accounted_cpu_s=500.0)
+        assert server.stats.effective == 1
+        assert server.stats.useful_reference_s == 1000.0
+
+    def test_quorum_needs_two(self):
+        sim = Simulator()
+        server = _server(sim, switch_time=1e9)
+        a = server.request_work(1)
+        b = server.request_work(2)
+        server.on_result(a, valid=True, accounted_cpu_s=1.0)
+        assert server.stats.effective == 0
+        server.on_result(b, valid=True, accounted_cpu_s=1.0)
+        assert server.stats.effective == 1
+        assert server.stats.quorum_extra == 1
+
+    def test_invalid_result_triggers_reissue(self):
+        sim = Simulator()
+        server = _server(sim, n=1)
+        inst = server.request_work(1)
+        server.on_result(inst, valid=False, accounted_cpu_s=1.0)
+        assert server.stats.invalid == 1
+        again = server.request_work(2)
+        assert again is not None and again.wu.wu_id == 0
+
+    def test_late_result_counted_redundant(self):
+        sim = Simulator()
+        server = _server(sim)
+        a = server.request_work(1)
+        b = server.request_work(2)  # wu 1
+        # Validate wu 0 via a; then a stale copy of wu 0 arrives.
+        server.on_result(a, valid=True, accounted_cpu_s=1.0)
+        # Simulate the timeout-then-late-report path: reissue wu by hand.
+        sim.run(until=200.0)  # deadline of b expires -> wu 1 reissued
+        c = server.request_work(3)
+        assert c.wu.wu_id == 1
+        server.on_result(c, valid=True, accounted_cpu_s=1.0)
+        server.on_result(b, valid=True, accounted_cpu_s=1.0)  # late copy
+        assert server.stats.late == 1
+        assert server.stats.disclosed == 3
+        assert server.stats.effective == 2
+
+    def test_double_report_rejected(self):
+        sim = Simulator()
+        server = _server(sim)
+        inst = server.request_work(1)
+        server.on_result(inst, valid=True, accounted_cpu_s=1.0)
+        with pytest.raises(RuntimeError):
+            server.on_result(inst, valid=True, accounted_cpu_s=1.0)
+
+    def test_quorum_partner_reissued_when_no_outstanding(self):
+        sim = Simulator()
+        server = _server(sim, n=1, switch_time=1e9)
+        a = server.request_work(1)
+        b = server.request_work(2)
+        server.on_result(a, valid=True, accounted_cpu_s=1.0)
+        server.on_result(b, valid=False, accounted_cpu_s=1.0)
+        # Valid result is waiting for a partner; a new copy must ship.
+        c = server.request_work(3)
+        assert c is not None and c.wu.wu_id == 0
+        server.on_result(c, valid=True, accounted_cpu_s=1.0)
+        assert server.stats.effective == 1
+
+
+class TestDeadlines:
+    def test_timeout_reissues(self):
+        sim = Simulator()
+        server = _server(sim, n=1, deadline=50.0)
+        inst = server.request_work(1)
+        assert server.request_work(2) is None
+        sim.run(until=60.0)  # deadline passes
+        again = server.request_work(2)
+        assert again is not None and again.wu.wu_id == 0
+        # The abandoned instance never reports; the new one completes.
+        server.on_result(again, valid=True, accounted_cpu_s=1.0)
+        assert server.completion_time is None or server.stats.effective == 1
+
+    def test_report_cancels_timeout(self):
+        sim = Simulator()
+        server = _server(sim, n=1, deadline=50.0)
+        inst = server.request_work(1)
+        server.on_result(inst, valid=True, accounted_cpu_s=1.0)
+        sim.run(until=100.0)
+        # No reissue after validation: nothing to hand out.
+        assert server.request_work(2) is None
+
+
+class TestBatches:
+    def test_batch_completion_callback(self):
+        sim = Simulator()
+        completed = []
+        server = _server(
+            sim, n=4, on_batch_complete=lambda b, t: completed.append(b)
+        )
+        for _ in range(4):
+            inst = server.request_work(1)
+            server.on_result(inst, valid=True, accounted_cpu_s=1.0)
+        assert completed == [0, 1]
+        assert server.completion_time is not None
+
+    def test_workunit_valid_callback(self):
+        sim = Simulator()
+        seen = []
+        server = _server(sim, n=2, on_workunit_valid=lambda wu, t: seen.append(wu.wu_id))
+        inst = server.request_work(1)
+        server.on_result(inst, valid=True, accounted_cpu_s=1.0)
+        assert seen == [0]

@@ -1,0 +1,55 @@
+"""Tests for repro.boinc.validator: validation regimes and accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.boinc.validator import ValidationPolicy, ValidationStats
+
+
+class TestValidationPolicy:
+    def test_quorum_before_switch(self):
+        policy = ValidationPolicy(switch_time=100.0)
+        assert policy.quorum_at(50.0) == 2
+        assert policy.replication_at(50.0) == 2
+
+    def test_bounds_after_switch(self):
+        policy = ValidationPolicy(switch_time=100.0)
+        assert policy.quorum_at(100.0) == 1
+        assert policy.quorum_at(500.0) == 1
+
+    def test_custom_quorum(self):
+        policy = ValidationPolicy(switch_time=100.0, quorum=3)
+        assert policy.quorum_at(0.0) == 3
+
+
+class TestValidationStats:
+    def test_redundancy_factor(self):
+        stats = ValidationStats()
+        for _ in range(137):
+            stats.record_result(10.0)
+        for _ in range(100):
+            stats.record_validation(5.0, "bounds")
+        assert stats.redundancy_factor == pytest.approx(1.37)
+        assert stats.useful_fraction == pytest.approx(1 / 1.37)
+
+    def test_cpu_accumulation(self):
+        stats = ValidationStats()
+        stats.record_result(10.0)
+        stats.record_result(15.0)
+        assert stats.consumed_cpu_s == 25.0
+
+    def test_useful_reference_accumulation(self):
+        stats = ValidationStats()
+        stats.record_validation(100.0, "quorum")
+        stats.record_validation(200.0, "bounds")
+        assert stats.useful_reference_s == 300.0
+        assert stats.validated_by_regime == {"quorum": 1, "bounds": 1, "adaptive": 0}
+
+    def test_redundancy_requires_validations(self):
+        with pytest.raises(ValueError):
+            ValidationStats().redundancy_factor
+
+    def test_useful_fraction_requires_results(self):
+        with pytest.raises(ValueError):
+            ValidationStats().useful_fraction

@@ -1,0 +1,110 @@
+"""Tests for the repro-hcmd command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["estimate"])
+        assert args.proteins == 168
+        assert args.seed == 2007
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_strategy_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["package", "--strategy", "magic"])
+
+
+class TestCommands:
+    def test_estimate(self, capsys):
+        assert main(["estimate"]) == 0
+        out = capsys.readouterr().out
+        assert "1,488:237:19:45:54" in out
+        assert "49,481,544" in out
+
+    def test_estimate_small_library(self, capsys):
+        assert main(["estimate", "--proteins", "12"]) == 0
+        assert "12" in capsys.readouterr().out
+
+    def test_package(self, capsys):
+        assert main(["package", "--hours", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "workunits" in out
+        assert "1,3" in out  # ~1.38M formatted with separators
+
+    def test_package_strategy(self, capsys):
+        assert main(["package", "--hours", "10", "--strategy", "merge-tail"]) == 0
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--scale", "500", "--proteins", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "redundancy factor" in out
+        assert "net speed-down" in out
+
+    def test_simulate_boinc_accounting(self, capsys):
+        assert main([
+            "simulate", "--scale", "500", "--proteins", "8",
+            "--accounting", "boinc",
+        ]) == 0
+
+    def test_compare(self, capsys):
+        assert main(["compare"]) == 0
+        out = capsys.readouterr().out
+        assert "World Community Grid" in out
+        assert "Dedicated Grid" in out
+
+    def test_project(self, capsys):
+        assert main(["project"]) == 0
+        out = capsys.readouterr().out
+        assert "59,730" in out
+
+    def test_project_custom(self, capsys):
+        assert main(["project", "--proteins", "1000", "--weeks", "20"]) == 0
+
+    def test_capacity(self, capsys):
+        assert main(["capacity"]) == 0
+        out = capsys.readouterr().out
+        assert "sustainable" in out
+
+    def test_capacity_overload(self, capsys):
+        assert main(["capacity", "--hours", "0.05"]) == 0
+        assert "NO" in capsys.readouterr().out
+
+    def test_report(self, capsys):
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "paper vs measured" in out
+        assert "1,488:237:19:45:54" in out
+        assert "Table 3" in out
+
+
+class TestScienceCommands:
+    def test_partners(self, capsys):
+        assert main(["partners", "--proteins", "24"]) == 0
+        out = capsys.readouterr().out
+        assert "top-1 recovery" in out
+        assert "ranking AUC" in out
+
+    def test_sites(self, capsys):
+        assert main([
+            "sites", "--proteins", "20", "--positions", "100", "--keep", "0.1",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "site recovery" in out
+        assert "focused search" in out
+
+    def test_sites_keep_validation(self):
+        with pytest.raises(ValueError):
+            main(["sites", "--proteins", "20", "--positions", "100",
+                  "--keep", "0.0"])

@@ -1,0 +1,82 @@
+"""Internal-consistency checks of the paper constants."""
+
+from __future__ import annotations
+
+from repro import constants as C
+from repro.units import SECONDS_PER_WEEK
+
+
+class TestApplicationShape:
+    def test_orientations(self):
+        # 21 couples x 10 gamma = 210 starting orientations (footnote 1).
+        assert C.N_ORIENTATIONS == 210
+
+    def test_sum_nsep_consistent_with_max_workunits(self):
+        assert C.SUM_NSEP * C.N_PROTEINS == C.TOTAL_MAX_WORKUNITS
+
+    def test_total_reference_cpu_parses(self):
+        # 1,488 years and change, in seconds.
+        assert 46.9e9 < C.TOTAL_REFERENCE_CPU_S < 47.0e9
+
+
+class TestSpeedDownArithmetic:
+    def test_raw_speed_down_matches_totals(self):
+        # Section 6: consumed / estimated = 5.43.
+        ratio = C.TOTAL_WCG_CPU_S / C.TOTAL_REFERENCE_CPU_S
+        assert abs(ratio - C.SPEED_DOWN_RAW) < 0.01
+
+    def test_net_speed_down_matches_redundancy(self):
+        assert abs(C.SPEED_DOWN_RAW / C.REDUNDANCY_FACTOR - C.SPEED_DOWN_NET) < 0.01
+
+    def test_redundancy_matches_result_counts(self):
+        ratio = C.RESULTS_DISCLOSED / C.RESULTS_EFFECTIVE
+        assert abs(ratio - C.REDUNDANCY_FACTOR) < 0.01
+
+    def test_useful_fraction(self):
+        assert abs(C.RESULTS_EFFECTIVE / C.RESULTS_DISCLOSED - C.USEFUL_RESULT_FRACTION) < 0.01
+
+    def test_effective_results_match_workunit_arithmetic(self):
+        # ~3.94M results x mean 3h18m47s reference cost ~ the total estimate:
+        # the paper's numbers are mutually consistent.
+        implied_total = C.RESULTS_EFFECTIVE * C.DEPLOYED_WU_MEAN_S
+        assert abs(implied_total / C.TOTAL_REFERENCE_CPU_S - 1.0) < 0.01
+
+    def test_mean_device_time_consistent(self):
+        # 13 h / 3.96 ~ 3h17m, "this confirms the speed down value".
+        assert abs(C.WCG_RESULT_MEAN_S / C.SPEED_DOWN_NET - C.DEPLOYED_WU_MEAN_S) < 600
+
+
+class TestPhaseStructure:
+    def test_phases_sum_to_project(self):
+        total = C.CONTROL_PERIOD_WEEKS + C.PRIORITIZATION_WEEKS + C.FULL_POWER_WEEKS
+        assert total == C.PROJECT_DURATION_WEEKS
+
+    def test_phase1_vftp_matches_cpu(self):
+        vftp = C.PHASE1_CPU_S / (C.PHASE1_WEEKS * SECONDS_PER_WEEK)
+        assert round(vftp) == C.PHASE1_VFTP
+
+    def test_phase2_vftp_matches_cpu(self):
+        vftp = C.PHASE2_CPU_S / (C.PHASE2_WEEKS * SECONDS_PER_WEEK)
+        assert round(vftp) == C.PHASE2_VFTP
+
+    def test_phase2_work_ratio(self):
+        assert abs(C.PHASE2_WORK_RATIO - 5.668) < 0.01
+        assert abs(C.PHASE2_CPU_S / C.PHASE1_CPU_S - C.PHASE2_WORK_RATIO) < 0.01
+
+    def test_member_vftp_yield_consistent(self):
+        # Phase-I yield applied to phase-II demand gives the Table 3 members.
+        yield_ = C.PHASE1_VFTP / C.PHASE1_MEMBERS
+        assert abs(C.PHASE2_VFTP / yield_ - C.PHASE2_MEMBERS) < 5
+
+    def test_table2_speed_down(self):
+        assert abs(
+            C.HCMD_VFTP_WHOLE_PERIOD / C.DEDICATED_EQUIV_WHOLE_PERIOD
+            - C.SPEED_DOWN_RAW
+        ) < 0.01
+        assert abs(
+            C.HCMD_VFTP_FULL_POWER / C.DEDICATED_EQUIV_FULL_POWER - C.SPEED_DOWN_RAW
+        ) < 0.01
+
+    def test_week_equivalence(self):
+        # 74,825 VFTP / 3.96 ~ 18,895 dedicated processors (Section 6).
+        assert abs(C.WCG_WEEK_VFTP / C.SPEED_DOWN_NET - C.WCG_WEEK_DEDICATED_EQUIV) < 10

@@ -1,0 +1,109 @@
+"""Tests for repro.core.campaign: release ordering and Figure 7."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.core.campaign import CampaignPlan
+
+
+@pytest.fixture(scope="module")
+def plan(small_library, small_cost_model):
+    return CampaignPlan(small_library, small_cost_model)
+
+
+class TestReleaseOrder:
+    def test_least_cost_first(self, plan):
+        works = plan.batch_work[plan.release_order]
+        assert (np.diff(works) >= 0).all()
+
+    def test_order_is_permutation(self, plan, small_library):
+        assert sorted(plan.release_order.tolist()) == list(range(len(small_library)))
+
+    def test_total_work_matches_cost_model(self, plan, small_cost_model):
+        assert plan.total_work == pytest.approx(
+            small_cost_model.total_reference_cpu()
+        )
+
+    def test_ordered_couples_batch_structure(self, plan, small_library):
+        couples = plan.ordered_couples()
+        n = len(small_library)
+        assert len(couples) == n * n
+        # Each consecutive block of n couples shares one receptor.
+        for b in range(n):
+            block = couples[b * n : (b + 1) * n]
+            receptors = {i for i, _ in block}
+            assert receptors == {int(plan.release_order[b])}
+            assert [j for _, j in block] == list(range(n))
+
+
+class TestSnapshots:
+    def test_zero_work(self, plan):
+        snap = plan.snapshot(0.0)
+        assert snap.work_fraction == 0.0
+        assert snap.proteins_complete == 0
+
+    def test_all_work(self, plan):
+        snap = plan.snapshot(plan.total_work)
+        assert snap.work_fraction == pytest.approx(1.0)
+        assert snap.proteins_complete == len(plan.library)
+
+    def test_partial_work_fills_in_order(self, plan):
+        # Half the work: a prefix of batches complete, one partial, rest zero.
+        snap = plan.snapshot(0.5 * plan.total_work)
+        f = snap.fractions
+        boundary = int((f >= 1.0).sum())
+        assert (f[:boundary] == 1.0).all()
+        assert (f[boundary + 1 :] == 0.0).all()
+
+    def test_clamps_overflow(self, plan):
+        snap = plan.snapshot(10 * plan.total_work)
+        assert snap.work_fraction == pytest.approx(1.0)
+
+    def test_monotone_in_work(self, plan):
+        fracs = [
+            plan.snapshot(x * plan.total_work).protein_fraction_complete
+            for x in np.linspace(0, 1, 11)
+        ]
+        assert fracs == sorted(fracs)
+
+
+class TestFigure7Shape:
+    def test_small_proteins_finish_early(self, plan):
+        # Completing most proteins accounts for much less of the work —
+        # the essence of Figure 7.
+        k = int(0.8 * len(plan.library))
+        assert plan.batch_release_fraction(k) < 0.8
+
+    def test_paper_anchor_on_phase1(self, phase1_library, phase1_cost_model):
+        plan = CampaignPlan(phase1_library, phase1_cost_model)
+        work_at_85 = plan.work_at_protein_fraction(0.85)
+        # Paper: 85% of proteins docked = 47% of the computation.
+        assert work_at_85 == pytest.approx(
+            C.PROGRESSION_SNAPSHOT_WORK_FRACTION, abs=0.08
+        )
+
+    def test_cumulative_percent_curve(self, plan):
+        total_pct, done_pct = plan.cumulative_percent_curve(0.3 * plan.total_work)
+        assert len(total_pct) == len(plan.library)
+        assert total_pct[-1] == pytest.approx(100.0)
+        assert (done_pct <= total_pct + 1e-9).all()
+        assert done_pct[-1] == pytest.approx(30.0, abs=0.5)
+
+    def test_batch_release_fraction_bounds(self, plan):
+        assert plan.batch_release_fraction(0) == 0.0
+        assert plan.batch_release_fraction(len(plan.library)) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            plan.batch_release_fraction(-1)
+
+    def test_work_at_protein_fraction_validates(self, plan):
+        with pytest.raises(ValueError):
+            plan.work_at_protein_fraction(1.5)
+
+
+class TestValidation:
+    def test_size_mismatch_rejected(self, small_library, phase1_cost_model):
+        with pytest.raises(ValueError):
+            CampaignPlan(small_library, phase1_cost_model)

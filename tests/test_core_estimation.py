@@ -1,0 +1,66 @@
+"""Tests for repro.core.estimation: formula (1) and the calibration run."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.core.estimation import calibration_experiment, estimate_total_work
+from repro.units import SECONDS_PER_DAY
+
+
+class TestEstimate:
+    def test_phase1_headline_figure(self, phase1_library, phase1_cost_model):
+        report = estimate_total_work(phase1_library, phase1_cost_model)
+        assert report.total_ydhms == "1,488:237:19:45:54"
+
+    def test_max_workunits(self, phase1_library, phase1_cost_model):
+        report = estimate_total_work(phase1_library, phase1_cost_model)
+        assert report.max_workunits == 49_481_544
+
+    def test_result_volume_near_paper(self, phase1_library, phase1_cost_model):
+        report = estimate_total_work(phase1_library, phase1_cost_model)
+        # 123 GB of result text (Section 5.2).
+        assert report.result_bytes == pytest.approx(123e9, rel=0.03)
+
+    def test_small_library_scales(self, small_library, small_cost_model):
+        report = estimate_total_work(small_library, small_cost_model)
+        assert report.n_proteins == 12
+        expected = small_library.total_max_workunits
+        assert report.max_workunits == expected
+        assert report.total_reference_cpu_s == pytest.approx(
+            small_cost_model.total_reference_cpu()
+        )
+
+
+class TestCalibrationExperiment:
+    def test_recovers_matrix(self, small_cost_model):
+        _, recovered = calibration_experiment(small_cost_model)
+        # The recovered slopes match the true matrix within jitter+overhead.
+        rel = np.abs(recovered - small_cost_model.mct) / small_cost_model.mct
+        assert np.median(rel) < 0.15
+
+    def test_cpu_days_near_paper(self, phase1_cost_model):
+        plan, _ = calibration_experiment(phase1_cost_model)
+        # "more than 73 days of cpu time" for the 168^2 campaign.
+        assert plan.cpu_days == pytest.approx(C.CALIBRATION_CPU_DAYS, rel=0.20)
+
+    def test_fits_one_day_reservation(self, phase1_cost_model):
+        plan, _ = calibration_experiment(phase1_cost_model)
+        assert plan.fits_in_reservation
+        assert plan.makespan_lower_bound_s <= SECONDS_PER_DAY
+
+    def test_makespan_bound_definition(self, small_cost_model):
+        plan, _ = calibration_experiment(small_cost_model, n_processors=2)
+        assert plan.makespan_lower_bound_s >= plan.cpu_seconds / 2
+        assert plan.makespan_lower_bound_s >= plan.longest_task_s
+
+    def test_rejects_zero_samples(self, small_cost_model):
+        with pytest.raises(ValueError):
+            calibration_experiment(small_cost_model, samples_per_couple=0)
+
+    def test_couple_count(self, small_cost_model):
+        plan, recovered = calibration_experiment(small_cost_model)
+        assert plan.n_couples == 144
+        assert recovered.shape == (12, 12)

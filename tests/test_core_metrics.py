@@ -1,0 +1,132 @@
+"""Tests for repro.core.metrics: VFTP, redundancy, speed-down, equivalence."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import constants as C
+from repro.core.metrics import (
+    CampaignMetrics,
+    dedicated_equivalent,
+    redundancy_factor,
+    speed_down_net,
+    speed_down_raw,
+    virtual_full_time_processors,
+)
+from repro.units import SECONDS_PER_DAY, SECONDS_PER_WEEK, years
+
+
+class TestVFTP:
+    def test_paper_definition(self):
+        # "10 years of cpu time for 1 day" = 3650 processors (Section 3.1).
+        assert virtual_full_time_processors(years(10), SECONDS_PER_DAY) == 3650
+
+    def test_one_processor(self):
+        assert virtual_full_time_processors(SECONDS_PER_DAY, SECONDS_PER_DAY) == 1.0
+
+    def test_rejects_zero_span(self):
+        with pytest.raises(ValueError):
+            virtual_full_time_processors(1.0, 0.0)
+
+    def test_rejects_negative_cpu(self):
+        with pytest.raises(ValueError):
+            virtual_full_time_processors(-1.0, 1.0)
+
+    @given(
+        st.floats(min_value=1, max_value=1e15),
+        st.floats(min_value=1, max_value=1e10),
+    )
+    def test_scaling_property(self, cpu, span):
+        v = virtual_full_time_processors(cpu, span)
+        assert virtual_full_time_processors(2 * cpu, span) == pytest.approx(2 * v)
+
+
+class TestRedundancy:
+    def test_paper_value(self):
+        assert redundancy_factor(
+            C.RESULTS_DISCLOSED, C.RESULTS_EFFECTIVE
+        ) == pytest.approx(1.3765, abs=1e-3)
+
+    def test_rejects_effective_above_disclosed(self):
+        with pytest.raises(ValueError):
+            redundancy_factor(5, 10)
+
+    def test_rejects_zero_effective(self):
+        with pytest.raises(ValueError):
+            redundancy_factor(5, 0)
+
+
+class TestSpeedDown:
+    def test_paper_raw(self):
+        assert speed_down_raw(
+            C.TOTAL_WCG_CPU_S, C.TOTAL_REFERENCE_CPU_S
+        ) == pytest.approx(5.43, abs=0.01)
+
+    def test_paper_net(self):
+        assert speed_down_net(5.43, 1.37) == pytest.approx(3.96, abs=0.01)
+
+    def test_rejects_redundancy_below_one(self):
+        with pytest.raises(ValueError):
+            speed_down_net(5.0, 0.9)
+
+
+class TestCampaignMetrics:
+    @pytest.fixture()
+    def paper_metrics(self):
+        """Phase I's whole-period accounting reconstructed from the paper."""
+        return CampaignMetrics(
+            span_seconds=26 * SECONDS_PER_WEEK,
+            consumed_cpu_s=C.TOTAL_WCG_CPU_S,
+            useful_reference_cpu_s=C.TOTAL_REFERENCE_CPU_S,
+            results_disclosed=C.RESULTS_DISCLOSED,
+            results_effective=C.RESULTS_EFFECTIVE,
+        )
+
+    def test_vftp_whole_period(self, paper_metrics):
+        # 8,082 years over 26 weeks ~ 16,218 VFTP (Table 2 says 16,450 from
+        # slightly different accounting).
+        assert paper_metrics.vftp == pytest.approx(C.HCMD_VFTP_WHOLE_PERIOD, rel=0.03)
+
+    def test_dedicated_equivalent(self, paper_metrics):
+        assert paper_metrics.dedicated_equivalent == pytest.approx(
+            C.DEDICATED_EQUIV_WHOLE_PERIOD, rel=0.03
+        )
+
+    def test_speed_downs(self, paper_metrics):
+        assert paper_metrics.speed_down_raw == pytest.approx(5.43, abs=0.01)
+        assert paper_metrics.speed_down_net == pytest.approx(3.95, abs=0.02)
+
+    def test_useful_fraction(self, paper_metrics):
+        assert paper_metrics.useful_result_fraction == pytest.approx(0.7265, abs=1e-3)
+
+    def test_mean_device_time(self, paper_metrics):
+        # ~13 hours per result on the volunteer devices.
+        assert paper_metrics.mean_device_seconds_per_result == pytest.approx(
+            C.WCG_RESULT_MEAN_S, rel=0.01
+        )
+
+    def test_equivalence_row(self, paper_metrics):
+        vftp, dedicated = paper_metrics.equivalence_row()
+        assert vftp / dedicated == pytest.approx(5.43, abs=0.02)
+
+    def test_cpu_days_per_day_equals_vftp(self, paper_metrics):
+        assert paper_metrics.cpu_days_per_day == pytest.approx(paper_metrics.vftp)
+
+    def test_internal_consistency_property(self):
+        m = CampaignMetrics(
+            span_seconds=1e6,
+            consumed_cpu_s=5e8,
+            useful_reference_cpu_s=1e8,
+            results_disclosed=1400,
+            results_effective=1000,
+        )
+        assert m.speed_down_net * m.redundancy == pytest.approx(m.speed_down_raw)
+        assert m.vftp / m.dedicated_equivalent == pytest.approx(m.speed_down_raw)
+
+
+class TestDedicatedEquivalent:
+    def test_identity_for_reference_grid(self):
+        # A dedicated grid's own useful work per unit time is its size.
+        assert dedicated_equivalent(100 * SECONDS_PER_DAY, SECONDS_PER_DAY) == 100

@@ -1,0 +1,208 @@
+"""Tests for repro.core.packaging: the Section 4.2 slicing algorithm."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.packaging import PackagingPolicy, WorkUnitPlan, positions_per_workunit
+from repro.maxdo.cost_model import CostModel
+from repro.units import hours
+
+ALL_STRATEGIES = ("floor", "round", "merge-tail", "even")
+
+
+class TestPolicy:
+    def test_target_seconds(self):
+        assert PackagingPolicy(target_hours=10).target_seconds == 36_000
+
+    def test_rejects_nonpositive_hours(self):
+        with pytest.raises(ValueError):
+            PackagingPolicy(target_hours=0)
+
+    def test_rejects_unknown_strategy(self):
+        with pytest.raises(ValueError):
+            PackagingPolicy(strategy="magic")
+
+    def test_rejects_bad_merge_fraction(self):
+        with pytest.raises(ValueError):
+            PackagingPolicy(merge_tail_fraction=1.5)
+
+
+class TestPositionsPerWorkunit:
+    """The paper's three-case nsep rule."""
+
+    def test_middle_case_floor(self):
+        mct = np.array([[1000.0]])
+        nsep = np.array([500])
+        out = positions_per_workunit(mct, nsep, hours(10))
+        assert out[0, 0] == 36  # floor(36000/1000)
+
+    def test_expensive_couple_clamps_to_one(self):
+        # floor(h / Mct) <= 1  =>  nsep = 1
+        mct = np.array([[50_000.0]])
+        out = positions_per_workunit(mct, np.array([500]), hours(10))
+        assert out[0, 0] == 1
+
+    def test_cheap_couple_clamps_to_nsep(self):
+        # floor(h / Mct) >= Nsep  =>  nsep = Nsep(p1)
+        mct = np.array([[1.0]])
+        out = positions_per_workunit(mct, np.array([500]), hours(10))
+        assert out[0, 0] == 500
+
+    def test_per_receptor_clamp_broadcasts(self):
+        mct = np.full((2, 2), 1.0)
+        nsep = np.array([10, 20])
+        out = positions_per_workunit(mct, nsep, hours(10))
+        assert out[0].tolist() == [10, 10]
+        assert out[1].tolist() == [20, 20]
+
+    def test_rejects_nonpositive_target(self):
+        with pytest.raises(ValueError):
+            positions_per_workunit(np.ones((1, 1)), np.ones(1, dtype=int), 0.0)
+
+
+@pytest.fixture(scope="module", params=ALL_STRATEGIES)
+def any_plan(request, small_cost_model):
+    return WorkUnitPlan(
+        small_cost_model, PackagingPolicy(target_hours=5, strategy=request.param)
+    )
+
+
+class TestPlanInvariants:
+    """Invariants every strategy must satisfy."""
+
+    def test_work_conservation(self, any_plan, small_cost_model):
+        # Slicing never creates or destroys work.
+        assert any_plan.total_reference_cpu() == pytest.approx(
+            small_cost_model.total_reference_cpu(), rel=1e-9
+        )
+
+    def test_couple_sizes_sum_to_nsep(self, any_plan, small_cost_model):
+        n = small_cost_model.n_proteins
+        for i in range(n):
+            for j in range(n):
+                sizes = any_plan.couple_sizes(i, j)
+                assert sum(sizes) == small_cost_model.nsep[i]
+                assert all(s >= 1 for s in sizes)
+
+    def test_materialized_count_matches_total(self, any_plan):
+        assert sum(1 for _ in any_plan.iter_workunits()) == any_plan.total_workunits()
+
+    def test_workunits_tile_isep_exactly(self, any_plan, small_cost_model):
+        # Every isep of every couple covered exactly once, no overlap/gap.
+        seen: dict[tuple[int, int], int] = {}
+        for wu in any_plan.iter_workunits():
+            key = wu.couple
+            assert wu.isep_start == seen.get(key, 0) + 1
+            seen[key] = wu.isep_end
+        for i in range(small_cost_model.n_proteins):
+            for j in range(small_cost_model.n_proteins):
+                assert seen[(i, j)] == small_cost_model.nsep[i]
+
+    def test_ids_sequential(self, any_plan):
+        ids = [wu.wu_id for wu in any_plan.iter_workunits()]
+        assert ids == list(range(len(ids)))
+
+    def test_histogram_accounts_every_workunit(self, any_plan):
+        edges = np.linspace(0, 40 * 3600, 41)
+        _, counts = any_plan.duration_histogram(edges)
+        assert counts.sum() == pytest.approx(any_plan.total_workunits())
+
+    def test_costs_match_model(self, any_plan, small_cost_model):
+        for wu in any_plan.iter_workunits():
+            expected = wu.nsep * small_cost_model.seconds_per_position(*wu.couple)
+            assert wu.cost_reference_s == pytest.approx(expected)
+
+
+class TestStrategyBehaviour:
+    def test_smaller_target_more_workunits(self, small_cost_model):
+        n10 = WorkUnitPlan(small_cost_model, PackagingPolicy(10)).total_workunits()
+        n4 = WorkUnitPlan(small_cost_model, PackagingPolicy(4)).total_workunits()
+        assert n4 > n10
+
+    def test_merge_tail_never_more_units_than_floor(self, small_cost_model):
+        floor = WorkUnitPlan(small_cost_model, PackagingPolicy(5, "floor"))
+        merged = WorkUnitPlan(small_cost_model, PackagingPolicy(5, "merge-tail"))
+        assert merged.total_workunits() <= floor.total_workunits()
+
+    def test_even_same_count_as_floor(self, small_cost_model):
+        floor = WorkUnitPlan(small_cost_model, PackagingPolicy(5, "floor"))
+        even = WorkUnitPlan(small_cost_model, PackagingPolicy(5, "even"))
+        assert even.total_workunits() == floor.total_workunits()
+
+    def test_even_narrower_distribution(self, small_cost_model):
+        floor = WorkUnitPlan(small_cost_model, PackagingPolicy(5, "floor"))
+        even = WorkUnitPlan(small_cost_model, PackagingPolicy(5, "even"))
+        assert even.duration_stats()["std"] <= floor.duration_stats()["std"] + 1e-9
+
+    def test_floor_durations_bounded_by_target_plus_one_position(
+        self, small_cost_model
+    ):
+        plan = WorkUnitPlan(small_cost_model, PackagingPolicy(5, "floor"))
+        target = hours(5)
+        for wu in plan.iter_workunits():
+            mct = small_cost_model.seconds_per_position(*wu.couple)
+            # nsep >= 2 slices stay under target; single-position couples
+            # may exceed it (the clamp-to-1 case of the paper's rule).
+            if wu.nsep > 1:
+                assert wu.cost_reference_s <= target + 1e-9
+
+    def test_duration_stats_mean_below_target_for_floor(self, small_cost_model):
+        plan = WorkUnitPlan(small_cost_model, PackagingPolicy(5, "floor"))
+        assert plan.duration_stats()["mean"] < hours(5)
+
+
+class TestPropertyBased:
+    @settings(max_examples=25, deadline=None)
+    @given(
+        mct=st.floats(min_value=5.0, max_value=50_000.0),
+        nsep=st.integers(min_value=1, max_value=9000),
+        target_h=st.floats(min_value=0.5, max_value=20.0),
+    )
+    def test_single_couple_rule(self, mct, nsep, target_h):
+        out = positions_per_workunit(
+            np.array([[mct]]), np.array([nsep]), hours(target_h)
+        )
+        per = int(out[0, 0])
+        assert 1 <= per <= nsep
+        # Oracle must use the same floating-point floor as the code:
+        # Python's // can differ from floor(a/b) by one ulp at integer
+        # quotients (e.g. h == mct * k exactly).
+        raw = int(np.floor(hours(target_h) / mct))
+        if 1 <= raw <= nsep:
+            assert per == raw
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        strategy=st.sampled_from(ALL_STRATEGIES),
+        target_h=st.floats(min_value=1.0, max_value=12.0),
+    )
+    def test_coverage_property(self, small_cost_model, strategy, target_h):
+        plan = WorkUnitPlan(
+            small_cost_model, PackagingPolicy(target_h, strategy)
+        )
+        i, j = 0, 1
+        sizes = plan.couple_sizes(i, j)
+        assert sum(sizes) == small_cost_model.nsep[i]
+        assert min(sizes) >= 1
+
+
+@pytest.mark.slow
+class TestPaperScale:
+    """Figure 4's absolute workunit counts on the phase-1 matrix."""
+
+    def test_h10_count(self, phase1_cost_model):
+        plan = WorkUnitPlan(phase1_cost_model, PackagingPolicy(10))
+        assert plan.total_workunits() == pytest.approx(1_364_476, rel=0.05)
+
+    def test_h4_count(self, phase1_cost_model):
+        plan = WorkUnitPlan(phase1_cost_model, PackagingPolicy(4))
+        assert plan.total_workunits() == pytest.approx(3_599_937, rel=0.05)
+
+    def test_deployed_mean_duration(self, phase1_cost_model):
+        # Figure 8: deployed workunits averaged 3h18m47s on the reference.
+        plan = WorkUnitPlan(phase1_cost_model, PackagingPolicy(3.65))
+        assert plan.duration_stats()["mean"] == pytest.approx(11_927, rel=0.03)

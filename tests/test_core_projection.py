@@ -1,0 +1,89 @@
+"""Tests for repro.core.projection: Table 3 and Section 7 arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants as C
+from repro.core.projection import Phase2Projection, project_phase2, work_ratio
+
+
+class TestWorkRatio:
+    def test_paper_value(self):
+        # 4000^2 / (168^2 * 100) ~ 5.67
+        assert work_ratio(4000) == pytest.approx(5.6689, abs=1e-3)
+
+    def test_quadratic_in_proteins(self):
+        assert work_ratio(336, 168, 1.0) == pytest.approx(4.0)
+
+    def test_linear_in_reduction(self):
+        assert work_ratio(168, 168, 10.0) == pytest.approx(0.1)
+
+    def test_identity(self):
+        assert work_ratio(168, 168, 1.0) == 1.0
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            work_ratio(0)
+        with pytest.raises(ValueError):
+            work_ratio(100, point_reduction=0.0)
+
+
+class TestTable3:
+    @pytest.fixture(scope="class")
+    def projection(self) -> Phase2Projection:
+        return project_phase2()
+
+    def test_phase2_cpu(self, projection):
+        assert projection.phase2_cpu_s == pytest.approx(C.PHASE2_CPU_S, rel=1e-3)
+
+    def test_phase1_vftp(self, projection):
+        assert round(projection.phase1_vftp) == C.PHASE1_VFTP
+
+    def test_phase2_vftp(self, projection):
+        assert round(projection.phase2_vftp) == C.PHASE2_VFTP
+
+    def test_phase2_members(self, projection):
+        assert round(projection.phase2_members) == pytest.approx(
+            C.PHASE2_MEMBERS, abs=2
+        )
+
+    def test_rows_structure(self, projection):
+        rows = projection.rows()
+        assert [r[0] for r in rows] == [
+            "cpu time in s",
+            "Nb weeks",
+            "Nb virtual full-time processors",
+            "Nb members",
+        ]
+        assert rows[1][1] == 16 and rows[1][2] == 40
+
+    def test_weeks_at_phase1_rate(self, projection):
+        # "if it behaves like for the first step, it will take 90 weeks".
+        assert projection.weeks_at_phase1_rate == pytest.approx(
+            C.PHASE2_WEEKS_AT_PHASE1_RATE, abs=2
+        )
+
+    def test_members_needed_at_quarter_share(self, projection):
+        # 25% grid share -> ~1.2-1.3M members ("nearly 1,000,000 new").
+        members = projection.members_needed(C.PHASE2_GRID_SHARE)
+        assert members == pytest.approx(C.PHASE2_MEMBERS_NEEDED, rel=0.10)
+        assert members - C.WCG_MEMBERS > 800_000
+
+    def test_members_needed_validates_share(self, projection):
+        with pytest.raises(ValueError):
+            projection.members_needed(0.0)
+
+    def test_ratio(self, projection):
+        assert projection.ratio == pytest.approx(C.PHASE2_WORK_RATIO, rel=1e-6)
+
+
+class TestCustomProjections:
+    def test_longer_deadline_needs_fewer_processors(self):
+        p40 = project_phase2(phase2_weeks=40)
+        p80 = project_phase2(phase2_weeks=80)
+        assert p80.phase2_vftp == pytest.approx(p40.phase2_vftp / 2)
+
+    def test_more_proteins_quadratic(self):
+        p = project_phase2(n_proteins_new=8000)
+        assert p.ratio == pytest.approx(4 * C.PHASE2_WORK_RATIO, rel=1e-6)

@@ -1,0 +1,82 @@
+"""Tests for the CampaignPlan release-order policies."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.campaign import CampaignPlan
+
+
+@pytest.fixture(scope="module", params=CampaignPlan.POLICIES)
+def plan(request, small_library, small_cost_model):
+    return CampaignPlan(small_library, small_cost_model, policy=request.param)
+
+
+class TestAllPolicies:
+    def test_order_is_permutation(self, plan):
+        n = len(plan.library)
+        assert sorted(plan.release_order.tolist()) == list(range(n))
+
+    def test_total_work_policy_invariant(self, plan, small_cost_model):
+        assert plan.total_work == pytest.approx(
+            small_cost_model.total_reference_cpu()
+        )
+
+    def test_snapshot_full_work_completes_everything(self, plan):
+        snap = plan.snapshot(plan.total_work)
+        assert snap.proteins_complete == len(plan.library)
+
+    def test_ordered_couples_consistent(self, plan):
+        couples = plan.ordered_couples()
+        n = len(plan.library)
+        receptors = [couples[b * n][0] for b in range(n)]
+        assert receptors == plan.release_order.tolist()
+
+
+class TestPolicyShapes:
+    def test_least_cost_ascending(self, small_library, small_cost_model):
+        plan = CampaignPlan(small_library, small_cost_model, "least-cost")
+        works = plan.batch_work[plan.release_order]
+        assert (np.diff(works) >= 0).all()
+
+    def test_largest_first_descending(self, small_library, small_cost_model):
+        plan = CampaignPlan(small_library, small_cost_model, "largest-first")
+        works = plan.batch_work[plan.release_order]
+        assert (np.diff(works) <= 0).all()
+
+    def test_index_is_identity(self, small_library, small_cost_model):
+        plan = CampaignPlan(small_library, small_cost_model, "index")
+        assert plan.release_order.tolist() == list(range(len(small_library)))
+
+    def test_random_deterministic(self, small_library, small_cost_model):
+        a = CampaignPlan(small_library, small_cost_model, "random")
+        b = CampaignPlan(small_library, small_cost_model, "random")
+        np.testing.assert_array_equal(a.release_order, b.release_order)
+
+    def test_unknown_policy_rejected(self, small_library, small_cost_model):
+        with pytest.raises(ValueError):
+            CampaignPlan(small_library, small_cost_model, "magic")
+
+
+class TestFigure7DependsOnPolicy:
+    def test_early_feedback_is_least_cost_property(
+        self, phase1_library, phase1_cost_model
+    ):
+        """At equal work done, least-cost-first has completed many more
+        proteins than largest-first — the deployment rationale of
+        Section 5.1, and the reason Figure 7 looks the way it does."""
+        least = CampaignPlan(phase1_library, phase1_cost_model, "least-cost")
+        largest = CampaignPlan(phase1_library, phase1_cost_model, "largest-first")
+        w = 0.3 * least.total_work
+        assert (
+            least.snapshot(w).proteins_complete
+            > 3 * max(largest.snapshot(w).proteins_complete, 1)
+        )
+
+    def test_least_cost_anchor_inverts_under_largest_first(
+        self, phase1_library, phase1_cost_model
+    ):
+        largest = CampaignPlan(phase1_library, phase1_cost_model, "largest-first")
+        # 85% of proteins complete requires nearly all of the work.
+        assert largest.work_at_protein_fraction(0.85) > 0.9

@@ -1,0 +1,66 @@
+"""Tests for repro.core.workunit."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import constants as C
+from repro.core.workunit import WorkUnit, WorkUnitStatus, workunit_input_bytes
+
+
+def _wu(**kw):
+    defaults = dict(
+        wu_id=0, receptor=1, ligand=2, isep_start=1, nsep=10, cost_reference_s=3600.0
+    )
+    defaults.update(kw)
+    return WorkUnit(**defaults)
+
+
+class TestWorkUnit:
+    def test_isep_end(self):
+        assert _wu(isep_start=5, nsep=10).isep_end == 14
+
+    def test_couple(self):
+        assert _wu().couple == (1, 2)
+
+    def test_single_position(self):
+        wu = _wu(isep_start=7, nsep=1)
+        assert wu.isep_end == 7
+
+    def test_rejects_zero_based_isep(self):
+        with pytest.raises(ValueError):
+            _wu(isep_start=0)
+
+    def test_rejects_empty_slice(self):
+        with pytest.raises(ValueError):
+            _wu(nsep=0)
+
+    def test_rejects_nonpositive_cost(self):
+        with pytest.raises(ValueError):
+            _wu(cost_reference_s=0.0)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            _wu().nsep = 5
+
+
+class TestStatus:
+    def test_lifecycle_values(self):
+        assert WorkUnitStatus.UNRELEASED.value == "unreleased"
+        assert len(WorkUnitStatus) == 4
+
+
+class TestInputBytes:
+    def test_small_couple_fits(self):
+        assert workunit_input_bytes(200, 150) < C.MAX_WORKUNIT_INPUT_BYTES
+
+    def test_large_couple_still_fits(self):
+        # Even the biggest synthetic proteins respect the 2 MB grid limit.
+        assert workunit_input_bytes(3000, 3000) < C.MAX_WORKUNIT_INPUT_BYTES
+
+    def test_grows_with_size(self):
+        assert workunit_input_bytes(500, 500) > workunit_input_bytes(50, 50)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            workunit_input_bytes(10_000, 10_000)

@@ -1,0 +1,113 @@
+"""Tests for repro.dedicated: cluster model and campaign runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.packaging import PackagingPolicy, WorkUnitPlan
+from repro.dedicated import Cluster, DedicatedGridSimulation
+from repro.units import SECONDS_PER_DAY
+
+
+class TestCluster:
+    def test_single_processor_serializes(self):
+        c = Cluster(1)
+        finish = c.schedule_tasks(np.array([10.0, 20.0, 5.0]))
+        assert finish.tolist() == [10.0, 30.0, 35.0]
+
+    def test_two_processors_parallelize(self):
+        c = Cluster(2)
+        finish = c.schedule_tasks(np.array([10.0, 10.0]))
+        assert finish.tolist() == [10.0, 10.0]
+        assert c.makespan == 10.0
+
+    def test_list_scheduling_earliest_free(self):
+        c = Cluster(2)
+        c.schedule_tasks(np.array([10.0, 2.0, 2.0]))
+        # Third task lands on the processor free at t=2.
+        assert c.makespan == 10.0
+
+    def test_speed_scales_durations(self):
+        c = Cluster(1, speed=2.0)
+        finish = c.schedule_tasks(np.array([10.0]))
+        assert finish[0] == 5.0
+
+    def test_busy_seconds(self):
+        c = Cluster(2)
+        c.schedule_tasks(np.array([10.0, 4.0]))
+        assert c.busy_seconds == 14.0
+
+    def test_utilization(self):
+        c = Cluster(2)
+        c.schedule_tasks(np.array([10.0, 10.0]))
+        assert c.utilization() == pytest.approx(1.0)
+
+    def test_reset(self):
+        c = Cluster(2)
+        c.schedule_tasks(np.array([10.0]))
+        c.reset()
+        assert c.makespan == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+        with pytest.raises(ValueError):
+            Cluster(1, speed=0.0)
+        with pytest.raises(ValueError):
+            Cluster(1).schedule_tasks(np.array([-1.0]))
+
+    def test_graham_bound(self):
+        # List scheduling stays within 2x the trivial lower bound.
+        rng = np.random.default_rng(0)
+        costs = rng.exponential(100.0, size=500)
+        c = Cluster(16)
+        c.schedule_tasks(costs)
+        lower = max(costs.sum() / 16, costs.max())
+        assert c.makespan <= 2.0 * lower
+
+
+class TestCalibrationRun:
+    def test_phase1_calibration_fits_one_day(self, phase1_cost_model):
+        grid = DedicatedGridSimulation.grid5000_calibration_setup()
+        result = grid.run_calibration(phase1_cost_model)
+        # Paper: ~73 cpu-days, 640 processors, one-day reservation.
+        assert result.cpu_days == pytest.approx(73.0, rel=0.20)
+        assert result.makespan_days < 1.0
+        assert result.n_processors == 640
+        assert result.n_tasks == 168 * 168
+
+    def test_effective_processors_bounded_by_size(self, small_cost_model):
+        grid = DedicatedGridSimulation(n_processors=8)
+        result = grid.run_calibration(small_cost_model, samples_per_couple=3)
+        assert result.effective_processors <= 8.0
+
+
+class TestWorkunitRun:
+    def test_conservation(self, small_cost_model):
+        plan = WorkUnitPlan(small_cost_model, PackagingPolicy(5))
+        grid = DedicatedGridSimulation(n_processors=32)
+        result = grid.run_workunits(plan)
+        assert result.cpu_seconds == pytest.approx(
+            small_cost_model.total_reference_cpu(), rel=1e-9
+        )
+
+    def test_dedicated_effective_equals_useful_rate(self, small_cost_model):
+        # No redundancy, no throttle: effective processors ~ cluster size
+        # when utilization is high — the Table 2 contrast.
+        plan = WorkUnitPlan(small_cost_model, PackagingPolicy(5))
+        grid = DedicatedGridSimulation(n_processors=16)
+        result = grid.run_workunits(plan, lpt=True)
+        assert result.effective_processors > 0.85 * 16
+
+    def test_prefix_limit(self, small_cost_model):
+        plan = WorkUnitPlan(small_cost_model, PackagingPolicy(5))
+        grid = DedicatedGridSimulation(n_processors=4)
+        result = grid.run_workunits(plan, max_workunits=10)
+        assert result.n_tasks == 10
+
+    def test_more_processors_shorter_makespan(self, small_cost_model):
+        plan = WorkUnitPlan(small_cost_model, PackagingPolicy(5))
+        small = DedicatedGridSimulation(n_processors=4).run_workunits(plan)
+        large = DedicatedGridSimulation(n_processors=64).run_workunits(plan)
+        assert large.makespan_s < small.makespan_s

@@ -1,0 +1,34 @@
+"""Run the doctests embedded in the public API docstrings.
+
+Docstrings with ``>>>`` examples are part of the documented contract; this
+test keeps them honest.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.core.metrics
+import repro.core.projection
+import repro.grid.des
+import repro.rng
+import repro.units
+
+MODULES = [
+    repro.units,
+    repro.rng,
+    repro.core.metrics,
+    repro.core.projection,
+    repro.grid.des,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_module_doctests(module):
+    failures, tested = doctest.testmod(
+        module, verbose=False, raise_on_error=False
+    ).failed, doctest.testmod(module, verbose=False).attempted
+    assert tested > 0, f"{module.__name__} lost its doctest examples"
+    assert failures == 0

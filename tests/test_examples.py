@@ -1,0 +1,47 @@
+"""Smoke tests: the runnable examples must stay runnable.
+
+Only the fast examples run here (the campaign-scale ones take minutes and
+are exercised by the benchmarks); each is executed in-process with its
+stdout captured.
+"""
+
+from __future__ import annotations
+
+import runpy
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+FAST_EXAMPLES = [
+    "quickstart.py",
+    "phase2_planning.py",
+    "binding_sites.py",
+    "docking_single_couple.py",
+]
+
+
+@pytest.mark.parametrize("name", FAST_EXAMPLES)
+def test_example_runs(name, capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", [name])
+    runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    out = capsys.readouterr().out
+    assert len(out) > 200  # produced a real report
+
+
+def test_quickstart_prints_paper_numbers(capsys, monkeypatch):
+    monkeypatch.setattr(sys, "argv", ["quickstart.py"])
+    runpy.run_path(str(EXAMPLES / "quickstart.py"), run_name="__main__")
+    out = capsys.readouterr().out
+    assert "1,488:237:19:45:54" in out
+    assert "49,481,544" in out
+
+
+def test_all_examples_exist_and_are_documented():
+    names = sorted(p.name for p in EXAMPLES.glob("*.py"))
+    assert len(names) >= 8
+    for p in EXAMPLES.glob("*.py"):
+        head = p.read_text().splitlines()[:3]
+        assert any('"""' in line for line in head), f"{p.name} lacks a docstring"

@@ -1,0 +1,129 @@
+"""Property-based tests of the fluid campaign model.
+
+Hypothesis generates arbitrary share schedules, efficiency constants and
+workloads; the invariants must hold for all of them:
+
+* work conservation — integrated useful work never exceeds the total and
+  equals it exactly on completion;
+* accounting algebra — consumed = useful x speed-down x redundancy,
+  week by week;
+* monotonicity — more supply never completes later.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.campaign import CampaignPlan
+from repro.fluid import FluidCampaign
+from repro.grid.population import ShareSchedule
+from repro.maxdo.cost_model import CostModel
+from repro.proteins.library import ProteinLibrary
+
+schedules = st.builds(
+    ShareSchedule,
+    control_weeks=st.floats(min_value=0.0, max_value=12.0),
+    ramp_weeks=st.floats(min_value=0.5, max_value=8.0),
+    control_share=st.floats(min_value=0.01, max_value=0.2),
+    full_share=st.floats(min_value=0.25, max_value=0.9),
+)
+
+efficiencies = st.fixed_dictionaries({
+    "speed_down_net": st.floats(min_value=1.0, max_value=8.0),
+    "redundancy_quorum": st.floats(min_value=1.5, max_value=2.5),
+    "redundancy_bounds": st.floats(min_value=1.0, max_value=1.5),
+    "validation_switch_week": st.floats(min_value=0.0, max_value=30.0),
+})
+
+
+@pytest.fixture(scope="module")
+def small_campaign(small_library, small_cost_model):
+    return CampaignPlan(small_library, small_cost_model)
+
+
+@pytest.fixture(scope="module")
+def phase1_scale_factor(small_campaign):
+    from repro import constants as C
+
+    return small_campaign.total_work / C.TOTAL_REFERENCE_CPU_S
+
+
+class TestFluidInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(schedule=schedules, eff=efficiencies)
+    def test_conservation_and_algebra(
+        self, small_campaign, phase1_scale_factor, schedule, eff
+    ):
+        fluid = FluidCampaign(
+            small_campaign,
+            mean_workunit_reference_s=12_000.0,
+            share_schedule=schedule,
+            supply_scale=phase1_scale_factor,
+            **eff,
+        )
+        result = fluid.run(max_weeks=400)
+
+        useful_total = result.useful_reference_s.sum()
+        assert useful_total <= small_campaign.total_work * (1 + 1e-9)
+        if result.completion_week is not None:
+            assert useful_total == pytest.approx(
+                small_campaign.total_work, rel=1e-9
+            )
+
+        # Weekly algebra: consumed = useful x net speed-down x redundancy.
+        for w in range(len(result.weeks)):
+            if result.useful_reference_s[w] == 0:
+                continue
+            ratio = result.consumed_cpu_s[w] / result.useful_reference_s[w]
+            lo = eff["speed_down_net"] * min(
+                eff["redundancy_quorum"], eff["redundancy_bounds"]
+            )
+            hi = eff["speed_down_net"] * max(
+                eff["redundancy_quorum"], eff["redundancy_bounds"]
+            )
+            assert lo - 1e-9 <= ratio <= hi + 1e-9
+
+        # Series sanity.
+        assert (result.useful_reference_s >= 0).all()
+        assert (result.consumed_cpu_s >= 0).all()
+        cum = result.cumulative_work_fraction
+        assert (np.diff(cum) >= -1e-12).all()
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        scale_a=st.floats(min_value=0.5, max_value=2.0),
+        boost=st.floats(min_value=1.1, max_value=4.0),
+    )
+    def test_more_supply_never_slower(
+        self, small_campaign, phase1_scale_factor, scale_a, boost
+    ):
+        def completion(multiplier: float) -> float:
+            fluid = FluidCampaign(
+                small_campaign,
+                mean_workunit_reference_s=12_000.0,
+                supply_scale=phase1_scale_factor * multiplier,
+            )
+            res = fluid.run(max_weeks=400)
+            assert res.completion_week is not None
+            return res.completion_week
+
+        slow = completion(scale_a)
+        fast = completion(scale_a * boost)
+        assert fast <= slow + 1e-9
+
+    @settings(max_examples=10, deadline=None)
+    @given(week=st.floats(min_value=0.0, max_value=60.0))
+    def test_snapshot_bounds(self, small_campaign, phase1_scale_factor, week):
+        fluid = FluidCampaign(
+            small_campaign,
+            mean_workunit_reference_s=12_000.0,
+            supply_scale=phase1_scale_factor,
+        )
+        result = fluid.run(max_weeks=60)
+        clipped = min(week, float(len(result.useful_reference_s)))
+        snap = fluid.snapshot_at_week(result, clipped)
+        assert 0.0 <= snap.work_fraction <= 1.0
+        assert 0.0 <= snap.protein_fraction_complete <= 1.0

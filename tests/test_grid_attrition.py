@@ -1,0 +1,84 @@
+"""Tests for volunteer attrition (hosts leaving the project for good)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boinc.simulator import scaled_phase1
+from repro.grid.host import HostPopulationModel, HostProfile
+
+
+class TestAttritionModel:
+    def test_no_attrition_by_default(self):
+        model = HostPopulationModel(seed=3, horizon=100 * 86400.0)
+        spec = model.spec(0)
+        # Trace extends close to the horizon with sessions throughout.
+        assert spec.trace.ends[-1] > 0.7 * model.horizon
+
+    def test_heavy_attrition_truncates_traces(self):
+        horizon = 100 * 86400.0
+        stay = HostPopulationModel(seed=3, horizon=horizon)
+        churn = stay.with_profile(attrition_weekly=0.5)
+        last_active_stay = np.mean(
+            [stay.spec(i).trace.ends[-1] for i in range(30)]
+        )
+        last_active_churn = np.mean(
+            [
+                churn.spec(i).trace.ends[-1]
+                for i in range(30)
+                if churn.spec(i).trace.n_intervals()
+            ]
+        )
+        assert last_active_churn < 0.6 * last_active_stay
+
+    def test_attrition_deterministic(self):
+        model = HostPopulationModel(seed=5, horizon=50 * 86400.0).with_profile(
+            attrition_weekly=0.3
+        )
+        a = model.spec(7)
+        b = model.spec(7)
+        np.testing.assert_array_equal(a.trace.ends, b.trace.ends)
+
+    def test_tenure_scales_with_hazard(self):
+        horizon = 400 * 86400.0
+        mild = HostPopulationModel(seed=5, horizon=horizon).with_profile(
+            attrition_weekly=0.05
+        )
+        harsh = HostPopulationModel(seed=5, horizon=horizon).with_profile(
+            attrition_weekly=0.5
+        )
+
+        def mean_tenure(model):
+            ends = [
+                model.spec(i).trace.ends[-1]
+                for i in range(40)
+                if model.spec(i).trace.n_intervals()
+            ]
+            return float(np.mean(ends))
+
+        assert mean_tenure(harsh) < mean_tenure(mild)
+
+
+class TestAttritionCampaign:
+    def test_churning_fleet_slows_campaign(self):
+        def completion(attrition):
+            sim = scaled_phase1(scale=300, n_proteins=10, horizon_weeks=80.0)
+            sim.host_model = sim.host_model.with_profile(
+                attrition_weekly=attrition
+            )
+            res = sim.run()
+            return res.completion_weeks or float("inf")
+
+        assert completion(0.20) > completion(0.0)
+
+    def test_departed_hosts_never_stall_the_server(self):
+        # Even with brutal churn the deadline machinery keeps reclaiming
+        # work; the campaign finishes once arrivals replenish the fleet.
+        sim = scaled_phase1(scale=500, n_proteins=8, horizon_weeks=120.0)
+        sim.host_model = sim.host_model.with_profile(attrition_weekly=0.25)
+        result = sim.run()
+        stats = result.server.stats
+        assert stats.effective == result.server.n_workunits or (
+            result.completion_time is None and stats.effective > 0
+        )

@@ -1,0 +1,124 @@
+"""Tests for repro.grid.availability: volunteer on/off traces."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.availability import AvailabilityTrace, generate_trace
+from repro.units import SECONDS_PER_DAY
+
+HORIZON = 60 * SECONDS_PER_DAY
+
+
+def _trace(seed=0, **kw):
+    return generate_trace(np.random.default_rng(seed), horizon=HORIZON, **kw)
+
+
+class TestTraceAlgebra:
+    def test_intervals_sorted_disjoint(self):
+        t = _trace()
+        assert (t.ends > t.starts).all()
+        assert (t.starts[1:] >= t.ends[:-1]).all()
+
+    def test_is_available_inside_interval(self):
+        t = _trace()
+        mid = (t.starts[0] + t.ends[0]) / 2
+        assert t.is_available(mid)
+
+    def test_not_available_before_first(self):
+        t = _trace()
+        assert not t.is_available(t.starts[0] - 1.0)
+
+    def test_boundaries_half_open(self):
+        t = _trace()
+        assert t.is_available(t.starts[0])
+        assert not t.is_available(t.ends[0])
+
+    def test_next_transition_from_on(self):
+        t = _trace()
+        mid = (t.starts[0] + t.ends[0]) / 2
+        assert t.next_transition(mid) == t.ends[0]
+
+    def test_next_transition_from_off(self):
+        t = _trace()
+        assert t.next_transition(t.starts[0] - 1.0) == t.starts[0]
+
+    def test_next_transition_none_at_end(self):
+        t = _trace()
+        assert t.next_transition(t.ends[-1] + 1.0) is None
+
+    def test_available_seconds_full_window(self):
+        t = _trace()
+        assert t.available_seconds(0, HORIZON) == pytest.approx(t.total_available)
+
+    def test_available_seconds_partial(self):
+        t = _trace()
+        s0, e0 = t.starts[0], t.ends[0]
+        assert t.available_seconds(s0, (s0 + e0) / 2) == pytest.approx((e0 - s0) / 2)
+
+    def test_available_seconds_rejects_reversed(self):
+        t = _trace()
+        with pytest.raises(ValueError):
+            t.available_seconds(10.0, 5.0)
+
+    def test_validation_rejects_overlap(self):
+        with pytest.raises(ValueError):
+            AvailabilityTrace(
+                starts=np.array([0.0, 5.0]), ends=np.array([6.0, 10.0]), horizon=20.0
+            )
+
+    def test_validation_rejects_empty_interval(self):
+        with pytest.raises(ValueError):
+            AvailabilityTrace(
+                starts=np.array([5.0]), ends=np.array([5.0]), horizon=20.0
+            )
+
+    def test_validation_rejects_past_horizon(self):
+        with pytest.raises(ValueError):
+            AvailabilityTrace(
+                starts=np.array([5.0]), ends=np.array([25.0]), horizon=20.0
+            )
+
+
+class TestGeneration:
+    def test_deterministic(self):
+        a = _trace(seed=3)
+        b = _trace(seed=3)
+        np.testing.assert_array_equal(a.starts, b.starts)
+
+    def test_join_time_respected(self):
+        t = _trace(join_time=10 * SECONDS_PER_DAY)
+        assert t.starts[0] >= 10 * SECONDS_PER_DAY
+
+    def test_leave_time_respected(self):
+        t = _trace(leave_time=20 * SECONDS_PER_DAY)
+        assert t.ends[-1] <= 20 * SECONDS_PER_DAY
+
+    def test_empty_when_leave_before_join(self):
+        t = _trace(join_time=30 * SECONDS_PER_DAY, leave_time=10 * SECONDS_PER_DAY)
+        assert t.n_intervals() == 0
+        assert not t.is_available(15 * SECONDS_PER_DAY)
+
+    def test_duty_fraction_near_half(self):
+        # 6h on / 6h off -> ~50% availability over a long horizon.
+        fractions = [
+            _trace(seed=s).total_available / HORIZON for s in range(8)
+        ]
+        assert 0.35 < float(np.mean(fractions)) < 0.65
+
+    def test_asymmetric_parameters_shift_duty(self):
+        mostly_on = _trace(mean_on_hours=12, mean_off_hours=2)
+        mostly_off = _trace(mean_on_hours=2, mean_off_hours=12)
+        assert mostly_on.total_available > mostly_off.total_available
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_interval_invariants_property(self, seed):
+        t = _trace(seed=seed)
+        if t.n_intervals():
+            assert (t.ends > t.starts).all()
+            assert (t.starts[1:] >= t.ends[:-1]).all()
+            assert t.ends[-1] <= t.horizon

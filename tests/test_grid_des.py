@@ -1,0 +1,142 @@
+"""Tests for repro.grid.des: the discrete-event kernel."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.grid.des import Simulator
+
+
+class TestScheduling:
+    def test_fifo_order_at_equal_times(self):
+        sim = Simulator()
+        order = []
+        for name in "abc":
+            sim.schedule(1.0, order.append, name)
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, order.append, "late")
+        sim.schedule(1.0, order.append, "early")
+        sim.run()
+        assert order == ["early", "late"]
+
+    def test_clock_advances(self):
+        sim = Simulator()
+        times = []
+        sim.schedule(2.5, lambda: times.append(sim.now))
+        sim.run()
+        assert times == [2.5]
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        seen = []
+
+        def first():
+            seen.append(sim.now)
+            sim.schedule(1.0, second)
+
+        def second():
+            seen.append(sim.now)
+
+        sim.schedule(1.0, first)
+        sim.run()
+        assert seen == [1.0, 2.0]
+
+    def test_rejects_past(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+        sim.schedule(5.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(1.0, lambda: None)
+
+    def test_events_processed_counter(self):
+        sim = Simulator()
+        for _ in range(5):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 5
+
+
+class TestCancellation:
+    def test_cancelled_event_skipped(self):
+        sim = Simulator()
+        fired = []
+        ev = sim.schedule(1.0, fired.append, "x")
+        ev.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "keep")
+        ev = sim.schedule(1.0, fired.append, "drop")
+        ev.cancel()
+        sim.run()
+        assert fired == ["keep"]
+
+    def test_peek_skips_cancelled(self):
+        sim = Simulator()
+        ev = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        ev.cancel()
+        assert sim.peek() == 2.0
+
+
+class TestRunUntil:
+    def test_stops_at_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, fired.append, "in")
+        sim.schedule(10.0, fired.append, "out")
+        sim.run(until=5.0)
+        assert fired == ["in"]
+        assert sim.now == 5.0
+
+    def test_inclusive_boundary(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, fired.append, "edge")
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_clock_set_even_when_drained(self):
+        sim = Simulator()
+        sim.run(until=7.0)
+        assert sim.now == 7.0
+
+    def test_rejects_past_horizon(self):
+        sim = Simulator()
+        sim.schedule(3.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.run(until=1.0)
+
+    def test_resume_after_until(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, fired.append, "late")
+        sim.run(until=5.0)
+        sim.run()
+        assert fired == ["late"]
+
+
+class TestClockMonotonicity:
+    @settings(max_examples=20, deadline=None)
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=1, max_size=50))
+    def test_callbacks_see_monotone_time(self, delays):
+        sim = Simulator()
+        seen = []
+        for d in delays:
+            sim.schedule(d, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)

@@ -1,0 +1,104 @@
+"""Tests for repro.grid.profiles: device classes and fleet mixtures."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boinc.simulator import scaled_phase1
+from repro.grid.profiles import (
+    ALWAYS_ON,
+    HOME_EVENING,
+    LAPTOP,
+    OFFICE_DESKTOP,
+    DeviceClass,
+    MixtureHostModel,
+    wcg_fleet_mixture,
+)
+
+
+class TestDeviceClasses:
+    def test_default_mixture_weights_sensible(self):
+        classes = wcg_fleet_mixture()
+        assert len(classes) == 4
+        total = sum(c.weight for c in classes)
+        assert total == pytest.approx(1.0)
+
+    def test_always_on_most_available(self):
+        def availability(c: DeviceClass) -> float:
+            p = c.profile
+            return p.mean_on_hours / (p.mean_on_hours + p.mean_off_hours)
+
+        assert availability(ALWAYS_ON) > availability(OFFICE_DESKTOP)
+        assert availability(OFFICE_DESKTOP) > availability(HOME_EVENING)
+        assert availability(HOME_EVENING) > availability(LAPTOP)
+
+    def test_weight_validation(self):
+        with pytest.raises(ValueError):
+            DeviceClass("bad", HOME_EVENING.profile, weight=0.0)
+
+
+class TestMixtureModel:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return MixtureHostModel(seed=13)
+
+    def test_class_assignment_stable(self, model):
+        assert model.class_of(5).name == model.class_of(5).name
+        other = MixtureHostModel(seed=13)
+        assert model.class_of(5).name == other.class_of(5).name
+
+    def test_spec_matches_class(self, model):
+        # A host's spec must be drawn from its class's parameters: check
+        # an always-on host has a much fuller trace than a laptop host.
+        labels = {model.class_of(i).name: i for i in range(200)}
+        assert len(labels) == 4  # all classes realized in 200 hosts
+        always = model.spec(labels["always-on"])
+        laptop = model.spec(labels["laptop"])
+        horizon = model.horizon
+        assert always.trace.total_available / horizon > 0.75
+        assert laptop.trace.total_available / horizon < 0.45
+
+    def test_class_shares_converge(self, model):
+        shares = model.class_shares(800)
+        assert shares["home-evening"] == pytest.approx(0.55, abs=0.07)
+        assert shares["always-on"] == pytest.approx(0.05, abs=0.03)
+
+    def test_blended_profile_between_extremes(self, model):
+        blended = model.profile
+        ons = [c.profile.mean_on_hours for c in model.classes]
+        assert min(ons) < blended.mean_on_hours < max(ons)
+
+    def test_with_profile_overrides_all_classes(self, model):
+        overridden = model.with_profile(reliability=0.5)
+        for c in overridden.classes:
+            assert c.profile.reliability == 0.5
+
+    def test_empty_mixture_rejected(self):
+        with pytest.raises(ValueError):
+            MixtureHostModel(classes=[])
+
+    def test_class_shares_validation(self, model):
+        with pytest.raises(ValueError):
+            model.class_shares(0)
+
+
+class TestCampaignWithMixture:
+    def test_campaign_runs_with_mixture_fleet(self):
+        sim = scaled_phase1(scale=400, n_proteins=8)
+        sim.host_model = MixtureHostModel(seed=sim.seed, horizon=sim.horizon_s)
+        result = sim.run()
+        assert result.server.stats.effective == result.server.n_workunits
+
+    def test_all_laptop_fleet_is_slower(self):
+        def completion(classes):
+            sim = scaled_phase1(scale=400, n_proteins=8)
+            sim.host_model = MixtureHostModel(
+                classes=classes, seed=sim.seed, horizon=sim.horizon_s
+            )
+            res = sim.run()
+            return res.completion_weeks or float("inf")
+
+        laptops = [DeviceClass("laptop", LAPTOP.profile, 1.0)]
+        dedicated = [DeviceClass("always-on", ALWAYS_ON.profile, 1.0)]
+        assert completion(dedicated) < completion(laptops)

@@ -1,0 +1,102 @@
+"""Tests for repro.grid.trace_io: trace serialization and statistics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.grid.availability import AvailabilityTrace, generate_trace
+from repro.grid.trace_io import (
+    read_trace_csv,
+    trace_statistics,
+    write_trace_csv,
+)
+
+HORIZON = 30 * 86_400.0
+
+
+def _trace(seed=0):
+    return generate_trace(np.random.default_rng(seed), horizon=HORIZON)
+
+
+class TestRoundtrip:
+    def test_exact_roundtrip_to_ms(self, tmp_path):
+        trace = _trace()
+        path = write_trace_csv(tmp_path / "t.csv", trace)
+        back = read_trace_csv(path)
+        np.testing.assert_allclose(back.starts, trace.starts, atol=1e-3)
+        np.testing.assert_allclose(back.ends, trace.ends, atol=1e-3)
+        assert back.horizon == pytest.approx(trace.horizon, abs=1e-3)
+
+    def test_roundtrip_preserves_algebra(self, tmp_path):
+        trace = _trace(seed=4)
+        back = read_trace_csv(write_trace_csv(tmp_path / "t.csv", trace))
+        t = trace.starts[0] + 10.0
+        assert back.is_available(t) == trace.is_available(t)
+        assert back.total_available == pytest.approx(
+            trace.total_available, abs=0.1
+        )
+
+    def test_empty_trace(self, tmp_path):
+        trace = AvailabilityTrace(np.empty(0), np.empty(0), HORIZON)
+        back = read_trace_csv(write_trace_csv(tmp_path / "t.csv", trace))
+        assert back.n_intervals() == 0
+        assert back.horizon == HORIZON
+
+    def test_missing_horizon_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("start_s,end_s\n0.0,10.0\n")
+        with pytest.raises(ValueError, match="horizon"):
+            read_trace_csv(path)
+
+    def test_malformed_row_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# horizon_s 100\nstart_s,end_s\n1,2,3\n")
+        with pytest.raises(ValueError, match="malformed"):
+            read_trace_csv(path)
+
+    def test_overlapping_intervals_rejected(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("# horizon_s 100\nstart_s,end_s\n0,10\n5,20\n")
+        with pytest.raises(ValueError):
+            read_trace_csv(path)
+
+
+class TestStatistics:
+    def test_known_trace(self):
+        trace = AvailabilityTrace(
+            starts=np.array([0.0, 7200.0]),
+            ends=np.array([3600.0, 10800.0]),
+            horizon=86_400.0,
+        )
+        stats = trace_statistics(trace)
+        assert stats.n_sessions == 2
+        assert stats.mean_session_s == 3600.0
+        assert stats.mean_gap_s == 3600.0
+        assert stats.availability == pytest.approx(7200 / 86_400)
+        assert stats.interruptions_per_day == 2.0
+
+    def test_empty_trace(self):
+        stats = trace_statistics(AvailabilityTrace(np.empty(0), np.empty(0), 100.0))
+        assert stats.availability == 0.0
+        assert stats.n_sessions == 0
+
+    def test_generated_trace_matches_model(self):
+        # 6h on / 6h off renewal -> ~50% availability, ~6h sessions.
+        stats = trace_statistics(_trace(seed=1))
+        assert 0.3 < stats.availability < 0.7
+        assert 2 * 3600 < stats.mean_session_s < 12 * 3600
+
+    def test_as_rows(self):
+        stats = trace_statistics(_trace())
+        rows = dict(stats.as_rows())
+        assert "availability" in rows
+        assert rows["sessions"] == stats.n_sessions
+
+    def test_statistics_survive_roundtrip(self, tmp_path):
+        trace = _trace(seed=7)
+        back = read_trace_csv(write_trace_csv(tmp_path / "t.csv", trace))
+        a = trace_statistics(trace)
+        b = trace_statistics(back)
+        assert a.n_sessions == b.n_sessions
+        assert a.availability == pytest.approx(b.availability, abs=1e-6)

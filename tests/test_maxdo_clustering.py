@@ -1,0 +1,120 @@
+"""Tests for repro.maxdo.clustering: binding-mode clustering."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.maxdo.clustering import cluster_minima
+from repro.maxdo.docking import DockingResult
+
+
+def _result(centers, energies_by_center, jitter=0.5, seed=0):
+    """A synthetic docking result whose minima sit near known centers."""
+    rng = np.random.default_rng(seed)
+    poses = []
+    energies = []
+    for center, es in zip(centers, energies_by_center):
+        for e in es:
+            poses.append(np.asarray(center) + rng.normal(0, jitter, 3))
+            energies.append(e)
+    n = len(poses)
+    shape = (n, 1, 1)
+    return DockingResult(
+        receptor="R",
+        ligand="L",
+        isep_start=1,
+        e_lj=np.asarray(energies).reshape(shape),
+        e_elec=np.zeros(shape),
+        positions=np.asarray(poses).reshape(n, 1, 1, 3),
+        eulers=np.zeros((n, 1, 1, 3)),
+    )
+
+
+class TestClustering:
+    def test_separates_well_separated_basins(self):
+        result = _result(
+            centers=[(0, 0, 0), (30, 0, 0), (0, 30, 0)],
+            energies_by_center=[[-10, -9, -8], [-7, -6], [-5]],
+        )
+        modes = cluster_minima(result, radius=5.0)
+        assert len(modes) == 3
+        assert [m.n_members for m in modes] == [3, 2, 1]
+
+    def test_modes_sorted_by_energy(self):
+        result = _result(
+            centers=[(0, 0, 0), (30, 0, 0)],
+            energies_by_center=[[-3], [-12]],
+        )
+        modes = cluster_minima(result, radius=5.0)
+        assert modes[0].best_energy == pytest.approx(-12, abs=1.0)
+        assert modes[0].best_energy < modes[1].best_energy
+
+    def test_larger_radius_fewer_modes(self):
+        result = _result(
+            centers=[(0, 0, 0), (12, 0, 0)],
+            energies_by_center=[[-10, -9], [-8, -7]],
+        )
+        tight = cluster_minima(result, radius=4.0)
+        loose = cluster_minima(result, radius=20.0)
+        assert len(loose) < len(tight)
+        assert len(loose) == 1
+        assert loose[0].n_members == 4
+
+    def test_members_partition_all_poses(self):
+        result = _result(
+            centers=[(0, 0, 0), (30, 0, 0)],
+            energies_by_center=[[-10, -9, -8], [-7, -6]],
+        )
+        modes = cluster_minima(result, radius=5.0)
+        all_members = np.concatenate([m.member_indices for m in modes])
+        assert sorted(all_members.tolist()) == list(range(5))
+
+    def test_energy_cutoff_filters(self):
+        result = _result(
+            centers=[(0, 0, 0), (30, 0, 0)],
+            energies_by_center=[[-10], [+5]],
+        )
+        modes = cluster_minima(result, radius=5.0, energy_cutoff=0.0)
+        assert len(modes) == 1
+        assert modes[0].best_energy == pytest.approx(-10)
+
+    def test_cutoff_can_empty(self):
+        result = _result(centers=[(0, 0, 0)], energies_by_center=[[+5]])
+        assert cluster_minima(result, radius=5.0, energy_cutoff=-1.0) == []
+
+    def test_max_modes_truncates(self):
+        result = _result(
+            centers=[(0, 0, 0), (30, 0, 0), (60, 0, 0)],
+            energies_by_center=[[-10], [-9], [-8]],
+        )
+        modes = cluster_minima(result, radius=5.0, max_modes=2)
+        assert len(modes) == 2
+        assert modes[0].best_energy < modes[1].best_energy
+
+    def test_deterministic(self):
+        result = _result(
+            centers=[(0, 0, 0), (30, 0, 0)],
+            energies_by_center=[[-10, -9], [-8]],
+        )
+        a = cluster_minima(result, radius=5.0)
+        b = cluster_minima(result, radius=5.0)
+        assert [m.best_energy for m in a] == [m.best_energy for m in b]
+
+    def test_validation(self):
+        result = _result(centers=[(0, 0, 0)], energies_by_center=[[-1]])
+        with pytest.raises(ValueError):
+            cluster_minima(result, radius=0.0)
+        with pytest.raises(ValueError):
+            cluster_minima(result, radius=5.0, max_modes=0)
+
+    def test_real_docking_map_clusters(self, tiny_receptor, tiny_ligand):
+        from repro.maxdo.docking import dock_couple
+
+        result = dock_couple(
+            tiny_receptor, tiny_ligand, isep_start=1, nsep=6, total_nsep=24,
+            n_couples=3, n_gamma=2, minimize=True, max_iterations=15,
+        )
+        modes = cluster_minima(result, radius=6.0)
+        assert 1 <= len(modes) <= result.e_total.size
+        assert sum(m.n_members for m in modes) == result.e_total.size

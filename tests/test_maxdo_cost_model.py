@@ -1,0 +1,152 @@
+"""Tests for repro.maxdo.cost_model: Section 4.1 / Table 1 / Figure 3."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.maxdo.cost_model import CostModel, fit_line
+
+
+class TestCalibrationTargets:
+    """The phase-1 matrix must hit the paper's anchors."""
+
+    def test_total_is_exact(self, phase1_cost_model):
+        assert phase1_cost_model.total_reference_cpu() == pytest.approx(
+            C.TOTAL_REFERENCE_CPU_S, rel=1e-12
+        )
+
+    def test_table1_mean(self, phase1_cost_model):
+        assert phase1_cost_model.statistics()["average"] == pytest.approx(
+            C.MCT_MEAN_S, rel=0.02
+        )
+
+    def test_table1_median(self, phase1_cost_model):
+        assert phase1_cost_model.statistics()["median"] == pytest.approx(
+            C.MCT_MEDIAN_S, rel=0.03
+        )
+
+    def test_table1_std(self, phase1_cost_model):
+        assert phase1_cost_model.statistics()["standard deviation"] == pytest.approx(
+            C.MCT_STD_S, rel=0.10
+        )
+
+    def test_table1_extremes(self, phase1_cost_model):
+        stats = phase1_cost_model.statistics()
+        assert stats["min"] == pytest.approx(C.MCT_MIN_S, abs=3.0)
+        assert stats["max"] == pytest.approx(C.MCT_MAX_S, rel=0.15)
+
+    def test_top10_share(self, phase1_cost_model):
+        # "10 proteins represent 30% of the total processing time."
+        assert phase1_cost_model.top_share(10) == pytest.approx(
+            C.TOP10_PROTEIN_TIME_SHARE, abs=0.06
+        )
+
+    def test_deterministic(self, phase1_library, phase1_cost_model):
+        again = CostModel.calibrated(phase1_library)
+        np.testing.assert_array_equal(again.mct, phase1_cost_model.mct)
+
+    def test_all_entries_positive(self, phase1_cost_model):
+        assert (phase1_cost_model.mct > 0).all()
+
+
+class TestLinearModel:
+    def test_linear_in_positions(self, small_cost_model):
+        one = small_cost_model.ct(0, 1, 1, 21)
+        assert small_cost_model.ct(0, 1, 7, 21) == pytest.approx(7 * one)
+
+    def test_linear_in_orientations(self, small_cost_model):
+        one = small_cost_model.ct(0, 1, 1, 1)
+        assert small_cost_model.ct(0, 1, 1, 21) == pytest.approx(21 * one)
+
+    def test_ct_iter_definition(self, small_cost_model):
+        assert small_cost_model.ct_iter(2, 3) == pytest.approx(
+            small_cost_model.seconds_per_position(2, 3) / 21
+        )
+
+    def test_asymmetric(self, small_cost_model):
+        # MAXDo is not symmetric: ct(p1, p2) != ct(p2, p1) in general.
+        m = small_cost_model.mct
+        assert not np.allclose(m, m.T)
+
+    def test_zero_counts(self, small_cost_model):
+        assert small_cost_model.ct(0, 0, 0, 21) == 0.0
+
+    def test_negative_counts_rejected(self, small_cost_model):
+        with pytest.raises(ValueError):
+            small_cost_model.ct(0, 0, -1, 21)
+
+    def test_formula1_equivalence(self, small_library, small_cost_model):
+        # total == sum Nsep(p1) * 21 * ct_iter(p1, p2).
+        manual = sum(
+            small_library.nsep[i] * 21 * small_cost_model.ct_iter(i, j)
+            for i in range(len(small_library))
+            for j in range(len(small_library))
+        )
+        assert small_cost_model.total_reference_cpu() == pytest.approx(manual)
+
+
+class TestMeasuredRuns:
+    def test_reproducible(self, small_cost_model):
+        # Property 1 of Section 4.1: reproducible computing time.
+        a = small_cost_model.measured_ct(1, 2, 5, 21)
+        b = small_cost_model.measured_ct(1, 2, 5, 21)
+        assert a == b
+
+    def test_close_to_model(self, small_cost_model):
+        model = small_cost_model.ct(1, 2, 5, 21)
+        measured = small_cost_model.measured_ct(1, 2, 5, 21)
+        assert measured == pytest.approx(model, rel=0.12, abs=5.0)
+
+    def test_includes_overhead(self, small_cost_model):
+        assert small_cost_model.measured_ct(0, 0, 0, 0) > 0
+
+
+class TestLinearityExperiment:
+    """Figure 3: correlation ~0.99 over sampled couples."""
+
+    def test_correlations_above_paper_threshold(self, small_cost_model):
+        rot_fits, sep_fits = small_cost_model.linearity_experiment(n_samples=40)
+        assert min(f.correlation for f in rot_fits) >= C.LINEARITY_MIN_CORRELATION
+        assert min(f.correlation for f in sep_fits) >= C.LINEARITY_MIN_CORRELATION
+
+    def test_slopes_match_ct_iter_scale(self, small_cost_model):
+        rot_fits, _ = small_cost_model.linearity_experiment(n_samples=10)
+        for fit in rot_fits:
+            assert fit.slope > 0
+
+    def test_small_intercept(self, small_cost_model):
+        # The paper assumes b ~ 0; our overhead is a couple of seconds.
+        rot_fits, _ = small_cost_model.linearity_experiment(n_samples=10)
+        for fit in rot_fits:
+            assert abs(fit.intercept) < 0.2 * fit.slope * 21 + 30
+
+
+class TestFitLine:
+    def test_exact_line(self):
+        x = np.arange(10.0)
+        fit = fit_line(x, 3.0 * x + 1.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(1.0)
+        assert fit.correlation == pytest.approx(1.0)
+
+    def test_rejects_mismatched(self):
+        with pytest.raises(ValueError):
+            fit_line(np.arange(3.0), np.arange(4.0))
+
+
+class TestValidation:
+    def test_rejects_non_square(self, small_library):
+        with pytest.raises(ValueError):
+            CostModel(np.ones((3, 4)), np.ones(3, dtype=int))
+
+    def test_rejects_nonpositive_times(self, small_library):
+        m = np.ones((3, 3))
+        m[1, 1] = 0.0
+        with pytest.raises(ValueError):
+            CostModel(m, np.ones(3, dtype=int))
+
+    def test_rejects_mismatched_nsep(self):
+        with pytest.raises(ValueError):
+            CostModel(np.ones((3, 3)), np.ones(4, dtype=int))

@@ -1,0 +1,99 @@
+"""Tests for repro.maxdo.orientations: the 21 x 10 orientation grid."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maxdo.orientations import (
+    N_COUPLES,
+    N_GAMMA,
+    euler_from_matrix,
+    gamma_values,
+    orientation_couples,
+    rotation_matrices,
+    rotation_matrix,
+)
+
+angles = st.floats(min_value=-np.pi, max_value=np.pi, allow_nan=False)
+
+
+class TestGrid:
+    def test_paper_counts(self):
+        assert N_COUPLES == 21
+        assert N_GAMMA == 10
+        assert orientation_couples().shape == (21, 2)
+        assert len(gamma_values()) == 10
+
+    def test_gamma_evenly_spaced(self):
+        g = gamma_values(10)
+        np.testing.assert_allclose(np.diff(g), 2 * np.pi / 10)
+        assert g[0] == 0.0
+        assert g[-1] < 2 * np.pi
+
+    def test_gamma_rejects_zero(self):
+        with pytest.raises(ValueError):
+            gamma_values(0)
+
+    def test_couples_in_range(self):
+        couples = orientation_couples(21)
+        assert (couples[:, 0] >= -np.pi).all() and (couples[:, 0] <= np.pi).all()
+        assert (couples[:, 1] >= 0).all() and (couples[:, 1] <= np.pi).all()
+
+    def test_couples_distinct(self):
+        couples = orientation_couples(21)
+        assert len(np.unique(couples.round(10), axis=0)) == 21
+
+    def test_total_orientations(self):
+        # 21 couples x 10 gamma = the paper's 210 starting orientations.
+        assert len(orientation_couples()) * len(gamma_values()) == 210
+
+
+class TestRotationMatrix:
+    def test_identity(self):
+        np.testing.assert_allclose(rotation_matrix(0, 0, 0), np.eye(3), atol=1e-15)
+
+    @given(angles, angles, angles)
+    @settings(max_examples=50, deadline=None)
+    def test_orthonormal(self, a, b, g):
+        rot = rotation_matrix(a, b, g)
+        np.testing.assert_allclose(rot @ rot.T, np.eye(3), atol=1e-12)
+        assert np.linalg.det(rot) == pytest.approx(1.0)
+
+    def test_alpha_gamma_compose_at_beta_zero(self):
+        np.testing.assert_allclose(
+            rotation_matrix(0.3, 0.0, 0.4), rotation_matrix(0.7, 0.0, 0.0), atol=1e-12
+        )
+
+    def test_vectorized_matches_scalar(self):
+        rng = np.random.default_rng(5)
+        abc = rng.uniform(-np.pi, np.pi, size=(20, 3))
+        batch = rotation_matrices(abc)
+        for k in range(20):
+            np.testing.assert_allclose(batch[k], rotation_matrix(*abc[k]), atol=1e-13)
+
+    def test_vectorized_shape_validation(self):
+        with pytest.raises(ValueError):
+            rotation_matrices(np.zeros((3, 2)))
+
+
+class TestEulerRecovery:
+    @given(angles, st.floats(min_value=0.05, max_value=np.pi - 0.05), angles)
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_generic(self, a, b, g):
+        rot = rotation_matrix(a, b, g)
+        recovered = rotation_matrix(*euler_from_matrix(rot))
+        np.testing.assert_allclose(recovered, rot, atol=1e-9)
+
+    @pytest.mark.parametrize("beta", [0.0, np.pi])
+    @pytest.mark.parametrize("a,g", [(0.0, 0.0), (0.5, 0.3), (-2.0, 1.0)])
+    def test_roundtrip_degenerate(self, beta, a, g):
+        rot = rotation_matrix(a, beta, g)
+        recovered = rotation_matrix(*euler_from_matrix(rot))
+        np.testing.assert_allclose(recovered, rot, atol=1e-9)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            euler_from_matrix(np.eye(2))

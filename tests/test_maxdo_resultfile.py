@@ -1,0 +1,113 @@
+"""Tests for repro.maxdo.resultfile: the text result format."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.maxdo.resultfile import (
+    BYTES_PER_LINE,
+    ResultHeader,
+    expected_line_count,
+    format_record,
+    read_results,
+    write_results,
+)
+
+
+def _header(nsep=3, n_couples=4):
+    return ResultHeader(
+        receptor="P001", ligand="P002", isep_start=1, nsep=nsep,
+        n_couples=n_couples, n_gamma=10,
+    )
+
+
+def _line(isep=1, irot=1, igamma=1, e_lj=-1.25, e_elec=0.5):
+    return format_record(
+        isep, irot, igamma,
+        np.array([10.0, -2.0, 3.5]), np.array([0.1, 0.2, 0.3]), e_lj, e_elec,
+    )
+
+
+class TestFormat:
+    def test_line_width_matches_volume_constant(self):
+        # The dataset volume model (123 GB) relies on this width.
+        assert len(_line()) + 1 == BYTES_PER_LINE
+
+    def test_width_stable_under_extreme_values(self):
+        line = format_record(
+            9_999_999, 21, 10,
+            np.array([-499.999, 499.999, 0.0]),
+            np.array([-3.1416, 3.1416, -3.1416]),
+            -99999.9999, 99999.9999,
+        )
+        assert len(line) + 1 == BYTES_PER_LINE
+
+    def test_expected_line_count(self):
+        # One line per (position, orientation couple): the paper's volume.
+        assert expected_line_count(nsep=5, n_couples=21) == 105
+
+
+class TestRoundtrip:
+    def test_write_read(self, tmp_path):
+        path = tmp_path / "r.result"
+        lines = [_line(isep=i + 1, irot=j + 1) for i in range(3) for j in range(4)]
+        n = write_results(path, _header(), lines)
+        assert n == 12
+        table = read_results(path)
+        assert table.header == _header()
+        assert len(table) == 12
+        assert table.records["isep"].tolist() == sorted(table.records["isep"].tolist())
+
+    def test_values_roundtrip(self, tmp_path):
+        path = tmp_path / "r.result"
+        write_results(path, _header(nsep=1, n_couples=1), [_line(e_lj=-123.4567)])
+        rec = read_results(path).records[0]
+        assert rec["e_lj"] == pytest.approx(-123.4567)
+        assert rec["e_tot"] == pytest.approx(-123.4567 + 0.5)
+        assert rec["x"] == pytest.approx(10.0)
+
+    def test_empty_file_keeps_header(self, tmp_path):
+        path = tmp_path / "r.result"
+        write_results(path, _header(), [])
+        table = read_results(path)
+        assert len(table) == 0
+        assert table.header.receptor == "P001"
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        st.floats(min_value=-9e4, max_value=9e4, allow_nan=False),
+        st.floats(min_value=-9e4, max_value=9e4, allow_nan=False),
+    )
+    def test_energy_roundtrip_property(self, tmp_path_factory, e_lj, e_elec):
+        path = tmp_path_factory.mktemp("rf") / "r.result"
+        write_results(
+            path, _header(nsep=1, n_couples=1), [_line(e_lj=e_lj, e_elec=e_elec)]
+        )
+        rec = read_results(path).records[0]
+        assert rec["e_lj"] == pytest.approx(e_lj, abs=1e-4)
+        assert rec["e_elec"] == pytest.approx(e_elec, abs=1e-4)
+
+
+class TestMalformed:
+    def test_missing_header_field(self, tmp_path):
+        path = tmp_path / "bad.result"
+        path.write_text("# receptor P001\n# ligand P002\n", encoding="ascii")
+        with pytest.raises(ValueError, match="missing"):
+            read_results(path)
+
+    def test_wrong_column_count(self, tmp_path):
+        path = tmp_path / "bad.result"
+        header = "\n".join(_header().lines())
+        path.write_text(header + "\n1 2 3 4\n", encoding="ascii")
+        with pytest.raises(ValueError):
+            read_results(path)
+
+    def test_garbage_data(self, tmp_path):
+        path = tmp_path / "bad.result"
+        header = "\n".join(_header().lines())
+        path.write_text(header + "\nnot numbers at all here pal\n", encoding="ascii")
+        with pytest.raises(ValueError):
+            read_results(path)

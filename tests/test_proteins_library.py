@@ -1,0 +1,118 @@
+"""Tests for repro.proteins.library: the calibrated protein set (Figure 2)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import constants as C
+from repro.proteins.library import ProteinLibrary
+from repro.proteins.surface import geometric_nsep
+
+
+class TestPhase1Calibration:
+    def test_size(self, phase1_library):
+        assert len(phase1_library) == 168
+
+    def test_sum_nsep_exact(self, phase1_library):
+        # Pins the paper's 49,481,544 maximum workunit count.
+        assert int(phase1_library.nsep.sum()) == C.SUM_NSEP
+
+    def test_total_max_workunits(self, phase1_library):
+        assert phase1_library.total_max_workunits == C.TOTAL_MAX_WORKUNITS
+
+    def test_figure2_most_below_3000(self, phase1_library):
+        assert (phase1_library.nsep < 3000).mean() > 0.75
+
+    def test_figure2_one_above_8000(self, phase1_library):
+        assert phase1_library.nsep.max() > 8000
+
+    def test_all_positive(self, phase1_library):
+        assert phase1_library.nsep.min() >= 1
+
+    def test_deterministic(self, phase1_library):
+        again = ProteinLibrary.phase1()
+        np.testing.assert_array_equal(again.nsep, phase1_library.nsep)
+        np.testing.assert_array_equal(
+            again.residue_counts, phase1_library.residue_counts
+        )
+
+    def test_different_seed_differs(self, phase1_library):
+        other = ProteinLibrary.phase1(seed=1234)
+        assert not np.array_equal(other.nsep, phase1_library.nsep)
+        # ... but the calibration targets still hold.
+        assert int(other.nsep.sum()) == C.SUM_NSEP
+
+    def test_names_unique(self, phase1_library):
+        assert len(set(phase1_library.names)) == 168
+
+    def test_nsep_not_sorted_by_index(self, phase1_library):
+        # The shuffle must decouple protein id from size.
+        assert not np.all(np.diff(phase1_library.nsep) >= 0)
+
+
+class TestSyntheticLibraries:
+    def test_small_library_scales_sum(self):
+        lib = ProteinLibrary.synthetic(n_proteins=12, seed=1)
+        expected = round(C.SUM_NSEP * 12 / 168)
+        assert int(lib.nsep.sum()) == expected
+
+    def test_explicit_sum(self):
+        lib = ProteinLibrary.synthetic(n_proteins=5, sum_nsep=1000, seed=1)
+        assert int(lib.nsep.sum()) == 1000
+
+    def test_single_protein(self):
+        lib = ProteinLibrary.synthetic(n_proteins=1, sum_nsep=50, seed=1)
+        assert lib.nsep.tolist() == [50]
+
+    def test_rejects_zero_proteins(self):
+        with pytest.raises(ValueError):
+            ProteinLibrary.synthetic(n_proteins=0)
+
+    def test_rejects_undersized_sum(self):
+        with pytest.raises(ValueError):
+            ProteinLibrary.synthetic(n_proteins=10, sum_nsep=5)
+
+
+class TestAccess:
+    def test_index_of(self, small_library):
+        assert small_library.index_of(small_library.names[3]) == 3
+
+    def test_index_of_missing(self, small_library):
+        with pytest.raises(KeyError):
+            small_library.index_of("NOPE")
+
+    def test_protein_lazy_and_cached(self, small_library):
+        p1 = small_library.protein(0)
+        p2 = small_library.protein(0)
+        assert p1 is p2
+
+    def test_protein_matches_residue_count(self, small_library):
+        i = int(np.argmin(small_library.residue_counts))
+        p = small_library.protein(i)
+        assert p.n_beads == small_library.residue_counts[i]
+
+    def test_protein_out_of_range(self, small_library):
+        with pytest.raises(IndexError):
+            small_library.protein(len(small_library))
+
+    def test_couples_cover_square(self, small_library):
+        couples = list(small_library.couples())
+        n = len(small_library)
+        assert len(couples) == n * n == small_library.n_couples
+        assert (0, 0) in couples  # self-docking is part of the matrix
+        assert len(set(couples)) == n * n
+
+    def test_size_scale_unit_mean(self, small_library):
+        assert small_library.size_scale().mean() == pytest.approx(1.0)
+
+
+class TestGeometricConsistency:
+    def test_stored_nsep_tracks_geometry(self, small_library):
+        # The geometric model on synthesized beads should agree with the
+        # authoritative Nsep within the envelope approximation (~35%).
+        i = int(np.argmin(small_library.residue_counts))
+        p = small_library.protein(i)
+        geo = geometric_nsep(p, small_library.spacing)
+        stored = int(small_library.nsep[i])
+        assert 0.6 < geo / stored < 1.6

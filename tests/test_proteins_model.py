@@ -1,0 +1,138 @@
+"""Tests for repro.proteins.model: reduced-protein synthesis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.proteins.model import (
+    MIN_BEAD_SEPARATION_A,
+    ReducedProtein,
+    synthesize_protein,
+)
+from repro.rng import stream
+
+
+def _protein(n=25, seed=3):
+    return synthesize_protein("P", n, stream(seed, "test-protein"))
+
+
+class TestSynthesis:
+    def test_bead_count(self):
+        assert _protein(25).n_beads == 25
+
+    def test_deterministic(self):
+        a = synthesize_protein("P", 25, stream(3, "x"))
+        b = synthesize_protein("P", 25, stream(3, "x"))
+        np.testing.assert_array_equal(a.coords, b.coords)
+        np.testing.assert_array_equal(a.charges, b.charges)
+
+    def test_centered(self):
+        p = _protein()
+        np.testing.assert_allclose(p.coords.mean(axis=0), 0.0, atol=1e-9)
+
+    def test_minimum_bead_separation(self):
+        p = _protein(60)
+        delta = p.coords[:, None, :] - p.coords[None, :, :]
+        dist = np.sqrt((delta**2).sum(axis=2))
+        np.fill_diagonal(dist, np.inf)
+        assert dist.min() >= MIN_BEAD_SEPARATION_A - 1e-9
+
+    def test_net_charge_zero(self):
+        p = _protein(50)
+        assert abs(p.charges.sum()) < 1e-9
+
+    def test_some_charges_nonzero(self):
+        p = _protein(50)
+        assert (np.abs(p.charges) > 1e-6).sum() >= 2
+
+    def test_too_few_beads_rejected(self):
+        with pytest.raises(ValueError):
+            _protein(3)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=4, max_value=80))
+    def test_size_scaling_property(self, n):
+        p = synthesize_protein("P", n, stream(11, "prop"))
+        assert p.n_beads == n
+        # Compact globule: radius grows sub-linearly with bead count.
+        assert p.bounding_radius < 6.0 * n ** (1 / 3) + 8.0
+
+
+class TestReducedProtein:
+    def test_immutable_arrays(self):
+        p = _protein()
+        with pytest.raises(ValueError):
+            p.coords[0, 0] = 1.0
+
+    def test_bounding_radius_covers_all_beads(self):
+        p = _protein(40)
+        extents = np.linalg.norm(p.coords, axis=1) + p.radii
+        assert p.bounding_radius >= extents.max() - 1e-9
+
+    def test_radius_of_gyration_positive_and_below_bounding(self):
+        p = _protein(40)
+        assert 0 < p.radius_of_gyration < p.bounding_radius
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            ReducedProtein(
+                name="bad",
+                coords=np.zeros((4, 2)),
+                radii=np.ones(4),
+                epsilons=np.ones(4),
+                charges=np.zeros(4),
+            )
+
+    def test_per_bead_array_validation(self):
+        with pytest.raises(ValueError):
+            ReducedProtein(
+                name="bad",
+                coords=np.zeros((4, 3)),
+                radii=np.ones(3),
+                epsilons=np.ones(4),
+                charges=np.zeros(4),
+            )
+
+
+class TestTransformed:
+    def test_identity(self):
+        p = _protein()
+        out = p.transformed(np.eye(3), np.zeros(3))
+        np.testing.assert_allclose(out, p.coords)
+
+    def test_translation(self):
+        p = _protein()
+        t = np.array([1.0, -2.0, 3.0])
+        out = p.transformed(np.eye(3), t)
+        np.testing.assert_allclose(out, p.coords + t)
+
+    def test_rotation_preserves_distances(self):
+        p = _protein()
+        theta = 0.7
+        rot = np.array(
+            [
+                [np.cos(theta), -np.sin(theta), 0],
+                [np.sin(theta), np.cos(theta), 0],
+                [0, 0, 1],
+            ]
+        )
+        out = p.transformed(rot, np.zeros(3))
+        np.testing.assert_allclose(
+            np.linalg.norm(out, axis=1), np.linalg.norm(p.coords, axis=1)
+        )
+
+    def test_does_not_mutate(self):
+        p = _protein()
+        before = p.coords.copy()
+        p.transformed(np.eye(3), np.ones(3))
+        np.testing.assert_array_equal(p.coords, before)
+
+    def test_bad_shapes_rejected(self):
+        p = _protein()
+        with pytest.raises(ValueError):
+            p.transformed(np.eye(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            p.transformed(np.eye(3), np.zeros(2))

@@ -1,0 +1,96 @@
+"""Tests for repro.proteins.surface: starting-position geometry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.proteins.surface import (
+    CLEARANCE_A,
+    fibonacci_sphere,
+    geometric_nsep,
+    shell_radii,
+    starting_positions,
+)
+
+
+class TestFibonacciSphere:
+    def test_unit_vectors(self):
+        pts = fibonacci_sphere(100)
+        np.testing.assert_allclose(np.linalg.norm(pts, axis=1), 1.0, atol=1e-12)
+
+    def test_exact_count(self):
+        assert fibonacci_sphere(37).shape == (37, 3)
+
+    def test_single_point(self):
+        assert fibonacci_sphere(1).shape == (1, 3)
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            fibonacci_sphere(0)
+
+    def test_quasi_uniform_coverage(self):
+        # Every octant gets within 2x of its fair share for large n.
+        pts = fibonacci_sphere(800)
+        octants = (pts > 0).astype(int) @ np.array([1, 2, 4])
+        counts = np.bincount(octants, minlength=8)
+        assert counts.min() > 50
+        assert counts.max() < 200
+
+    @given(st.integers(min_value=2, max_value=500))
+    @settings(max_examples=20, deadline=None)
+    def test_centroid_near_origin(self, n):
+        pts = fibonacci_sphere(n)
+        assert np.linalg.norm(pts.mean(axis=0)) < 0.5
+
+
+class TestShellRadii:
+    def test_innermost_outside_envelope(self, tiny_receptor):
+        radii = shell_radii(tiny_receptor)
+        assert radii[0] == pytest.approx(tiny_receptor.bounding_radius + CLEARANCE_A)
+
+    def test_monotone_increasing(self, tiny_receptor):
+        radii = shell_radii(tiny_receptor)
+        assert (np.diff(radii) > 0).all()
+
+
+class TestGeometricNsep:
+    def test_monotone_in_spacing(self, tiny_receptor):
+        values = [geometric_nsep(tiny_receptor, s) for s in (1.0, 2.0, 4.0, 8.0)]
+        assert values == sorted(values, reverse=True)
+
+    def test_positive(self, tiny_receptor):
+        assert geometric_nsep(tiny_receptor, 100.0) >= 1
+
+    def test_rejects_bad_spacing(self, tiny_receptor):
+        with pytest.raises(ValueError):
+            geometric_nsep(tiny_receptor, 0.0)
+
+
+class TestStartingPositions:
+    def test_exact_count(self, tiny_receptor):
+        for n in (1, 7, 100, 523):
+            assert starting_positions(tiny_receptor, n).shape == (n, 3)
+
+    def test_outside_envelope(self, tiny_receptor):
+        pos = starting_positions(tiny_receptor, 200)
+        dist = np.linalg.norm(pos, axis=1)
+        assert dist.min() >= tiny_receptor.bounding_radius + CLEARANCE_A - 1e-9
+
+    def test_deterministic_prefix_stability(self, tiny_receptor):
+        # Two calls with the same count give identical enumerations: workunit
+        # isep ranges must always denote the same physical positions.
+        a = starting_positions(tiny_receptor, 150)
+        b = starting_positions(tiny_receptor, 150)
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_zero(self, tiny_receptor):
+        with pytest.raises(ValueError):
+            starting_positions(tiny_receptor, 0)
+
+    @given(st.integers(min_value=1, max_value=400))
+    @settings(max_examples=15, deadline=None)
+    def test_count_property(self, tiny_receptor, n):
+        assert len(starting_positions(tiny_receptor, n)) == n

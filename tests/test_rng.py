@@ -1,0 +1,72 @@
+"""Tests for repro.rng: named deterministic stream derivation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import rng
+
+
+class TestStableHash:
+    def test_deterministic(self):
+        assert rng.stable_hash64("proteins") == rng.stable_hash64("proteins")
+
+    def test_distinct_names(self):
+        names = ["a", "b", "proteins", "hosts", "cost-matrix", ""]
+        hashes = {rng.stable_hash64(n) for n in names}
+        assert len(hashes) == len(names)
+
+    def test_fits_64_bits(self):
+        assert 0 <= rng.stable_hash64("x") < 2**64
+
+    @given(st.text(max_size=50))
+    def test_stable_for_any_text(self, name):
+        assert rng.stable_hash64(name) == rng.stable_hash64(name)
+
+
+class TestStream:
+    def test_same_name_same_sequence(self):
+        a = rng.stream(7, "x").random(5)
+        b = rng.stream(7, "x").random(5)
+        np.testing.assert_array_equal(a, b)
+
+    def test_different_names_differ(self):
+        a = rng.stream(7, "x").random(5)
+        b = rng.stream(7, "y").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = rng.stream(7, "x").random(5)
+        b = rng.stream(8, "x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_order_independence(self):
+        # Creating other streams in between must not perturb a stream.
+        a = rng.stream(7, "x").random(3)
+        rng.stream(7, "noise").random(100)
+        b = rng.stream(7, "x").random(3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestSubstream:
+    def test_indexed_streams_independent(self):
+        a0 = rng.substream(7, "host", 0).random(3)
+        a1 = rng.substream(7, "host", 1).random(3)
+        assert not np.array_equal(a0, a1)
+
+    def test_reproducible(self):
+        a = rng.substream(7, "host", 42).random(3)
+        b = rng.substream(7, "host", 42).random(3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValueError):
+            rng.substream(7, "host", -1)
+
+    def test_substream_differs_from_stream(self):
+        a = rng.stream(7, "host").random(3)
+        b = rng.substream(7, "host", 0).random(3)
+        assert not np.array_equal(a, b)

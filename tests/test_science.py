@@ -1,0 +1,178 @@
+"""Tests for repro.science: cross-docking analysis and partner prediction."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.proteins.library import ProteinLibrary
+from repro.science.energymatrix import CrossDockingMatrix, plant_complexes
+from repro.science.partners import (
+    double_centered,
+    predict_partners,
+    ranking_auc,
+    recovery_rate,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix(phase1_library):
+    return CrossDockingMatrix.synthetic(phase1_library)
+
+
+class TestPlantComplexes:
+    def test_every_protein_at_most_once(self):
+        pairs = plant_complexes(20, seed=1)
+        members = [p for pair in pairs for p in pair]
+        assert len(members) == len(set(members)) == 20
+
+    def test_odd_count_leaves_one_out(self):
+        pairs = plant_complexes(21, seed=1)
+        assert len(pairs) == 10
+
+    def test_deterministic(self):
+        assert plant_complexes(20, seed=3) == plant_complexes(20, seed=3)
+
+    def test_different_seeds_differ(self):
+        assert plant_complexes(20, seed=3) != plant_complexes(20, seed=4)
+
+    def test_too_few_rejected(self):
+        with pytest.raises(ValueError):
+            plant_complexes(1, seed=1)
+
+
+class TestSyntheticMatrix:
+    def test_shape_and_complexes(self, matrix, phase1_library):
+        assert matrix.energies.shape == (168, 168)
+        assert len(matrix.complexes) == 84
+
+    def test_all_binding(self, matrix):
+        # Everything binds somewhat (energies negative), complexes more so.
+        assert (matrix.energies < 0).all()
+
+    def test_complex_couples_stronger_on_average(self, matrix):
+        sym = matrix.symmetrized()
+        mask = np.zeros_like(sym, dtype=bool)
+        for a, b in matrix.complexes:
+            mask[a, b] = mask[b, a] = True
+        off = ~np.eye(len(sym), dtype=bool)
+        assert sym[mask].mean() < sym[~mask & off].mean() - 5.0
+
+    def test_asymmetric(self, matrix):
+        assert not np.allclose(matrix.energies, matrix.energies.T)
+
+    def test_deterministic(self, phase1_library):
+        a = CrossDockingMatrix.synthetic(phase1_library)
+        b = CrossDockingMatrix.synthetic(phase1_library)
+        np.testing.assert_array_equal(a.energies, b.energies)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrossDockingMatrix(np.zeros((3, 4)))
+
+
+class TestDoubleCentering:
+    def test_removes_row_and_column_means(self, matrix):
+        centered = double_centered(matrix.energies)
+        np.testing.assert_allclose(centered.mean(axis=0), 0.0, atol=1e-9)
+        np.testing.assert_allclose(centered.mean(axis=1), 0.0, atol=1e-9)
+
+    def test_idempotent(self, matrix):
+        once = double_centered(matrix.energies)
+        np.testing.assert_allclose(double_centered(once), once, atol=1e-9)
+
+    def test_removes_additive_stickiness_exactly(self):
+        rng = np.random.default_rng(0)
+        sticky = rng.normal(size=12)
+        signal = rng.normal(size=(12, 12))
+        contaminated = signal + sticky[:, None] + sticky[None, :]
+        np.testing.assert_allclose(
+            double_centered(contaminated), double_centered(signal), atol=1e-9
+        )
+
+    def test_rejects_non_square(self):
+        with pytest.raises(ValueError):
+            double_centered(np.zeros((3, 4)))
+
+
+class TestPartnerPrediction:
+    def test_rankings_exclude_self(self, matrix):
+        pred = predict_partners(matrix)
+        for i in (0, 41, 167):
+            assert i not in pred.ranking[i]
+            assert len(pred.ranking[i]) == 167
+
+    def test_normalized_recovers_planted_partners(self, matrix):
+        pred = predict_partners(matrix, normalize=True)
+        assert recovery_rate(pred, matrix.complexes, k=1) > 0.7
+        assert recovery_rate(pred, matrix.complexes, k=5) > 0.9
+
+    def test_normalization_beats_raw_energies(self, matrix):
+        raw = predict_partners(matrix, normalize=False)
+        norm = predict_partners(matrix, normalize=True)
+        assert recovery_rate(norm, matrix.complexes, k=1) > recovery_rate(
+            raw, matrix.complexes, k=1
+        )
+
+    def test_auc_ordering(self, matrix):
+        raw = predict_partners(matrix, normalize=False)
+        norm = predict_partners(matrix, normalize=True)
+        assert ranking_auc(norm, matrix.complexes) > ranking_auc(
+            raw, matrix.complexes
+        )
+        assert ranking_auc(norm, matrix.complexes) > 0.9
+
+    def test_rank_of(self, matrix):
+        pred = predict_partners(matrix)
+        a, b = matrix.complexes[0]
+        assert 1 <= pred.rank_of(a, b) <= 167
+        assert pred.rank_of(a, pred.top_partners(a, 1)[0]) == 1
+
+    def test_rank_of_self_rejected(self, matrix):
+        pred = predict_partners(matrix)
+        with pytest.raises(ValueError):
+            pred.rank_of(0, 0)
+
+    def test_metric_validation(self, matrix):
+        pred = predict_partners(matrix)
+        with pytest.raises(ValueError):
+            recovery_rate(pred, [], k=1)
+        with pytest.raises(ValueError):
+            recovery_rate(pred, matrix.complexes, k=0)
+
+
+class TestRealEngineMatrix:
+    @staticmethod
+    def _tiny_library():
+        # Hand-sized proteins (tens of beads) keep real docking fast;
+        # ProteinLibrary.synthetic targets realistic ~250-residue medians.
+        import numpy as np
+
+        return ProteinLibrary(
+            names=["A", "B", "C"],
+            nsep=np.array([6, 6, 6]),
+            residue_counts=np.array([25, 32, 40]),
+            spacing=4.0,
+            seed=9,
+        )
+
+    def test_from_docking_small_library(self):
+        library = self._tiny_library()
+        matrix = CrossDockingMatrix.from_docking(
+            library, nsep_per_couple=2, n_couples=3, n_gamma=2,
+            minimize=True, max_iterations=10,
+        )
+        assert matrix.energies.shape == (3, 3)
+        assert np.isfinite(matrix.energies).all()
+        # Minimized energies from a coarse grid are attractive or mildly
+        # repulsive, never absurd.
+        assert (matrix.energies < 50).all()
+
+    def test_prediction_runs_on_real_matrix(self):
+        library = self._tiny_library()
+        matrix = CrossDockingMatrix.from_docking(
+            library, nsep_per_couple=1, n_couples=2, n_gamma=1,
+            minimize=False,
+        )
+        pred = predict_partners(matrix)
+        assert pred.ranking.shape == (3, 2)

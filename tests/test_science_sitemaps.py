@@ -1,0 +1,118 @@
+"""Tests for repro.science.sitemaps: binding sites and focused docking."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.science.partners import predict_partners, recovery_rate
+from repro.science.sitemaps import SiteMaps
+
+
+@pytest.fixture(scope="module")
+def maps() -> SiteMaps:
+    return SiteMaps.synthetic(n_proteins=30, seed=11, n_positions=120)
+
+
+class TestSynthesis:
+    def test_shapes(self, maps):
+        assert maps.energies.shape == (30, 30, 120)
+        assert maps.planted_sites.shape == (30, 120)
+        assert maps.directions.shape == (120, 3)
+
+    def test_every_protein_has_a_site(self, maps):
+        assert (maps.planted_sites.sum(axis=1) >= 1).all()
+
+    def test_sites_are_angular_caps(self, maps):
+        # A planted site's directions cluster: their mean vector is long.
+        for i in range(5):
+            dirs = maps.directions[maps.planted_sites[i]]
+            assert np.linalg.norm(dirs.mean(axis=0)) > 0.5
+
+    def test_site_positions_bind_stronger(self, maps):
+        for i in range(5):
+            site = maps.planted_sites[i]
+            e = maps.energies[i]
+            assert e[:, site].mean() < e[:, ~site].mean() - 1.0
+
+    def test_deterministic(self):
+        a = SiteMaps.synthetic(n_proteins=8, seed=3, n_positions=40)
+        b = SiteMaps.synthetic(n_proteins=8, seed=3, n_positions=40)
+        np.testing.assert_array_equal(a.energies, b.energies)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SiteMaps.synthetic(n_proteins=1, seed=0)
+        with pytest.raises(ValueError):
+            SiteMaps.synthetic(n_proteins=4, seed=0, n_positions=4)
+
+
+class TestConsensusSites:
+    def test_recovery_high(self, maps):
+        # Consensus across ligands localizes the planted interfaces.
+        assert maps.site_recovery() > 0.85
+
+    def test_predicted_site_size_defaults_to_truth(self, maps):
+        predicted = maps.predicted_site(0)
+        assert len(predicted) == maps.planted_sites[0].sum()
+
+    def test_consensus_excludes_self(self, maps):
+        # Shifting protein 0's self-docking energies must not change its
+        # own consensus scores.
+        shifted = SiteMaps(
+            energies=maps.energies.copy(),
+            directions=maps.directions,
+            planted_sites=maps.planted_sites,
+            complexes=maps.complexes,
+        )
+        shifted.energies[0, 0, :] -= 100.0
+        np.testing.assert_allclose(
+            shifted.consensus_scores(0), maps.consensus_scores(0)
+        )
+
+    def test_predicted_site_validation(self, maps):
+        with pytest.raises(ValueError):
+            maps.predicted_site(0, n_site=0)
+        with pytest.raises(ValueError):
+            maps.predicted_site(0, n_site=10_000)
+
+
+class TestFocusedDocking:
+    def test_to_matrix_is_position_minimum(self, maps):
+        matrix = maps.to_matrix()
+        np.testing.assert_allclose(matrix.energies, maps.energies.min(axis=2))
+        assert matrix.complexes == maps.complexes
+
+    def test_partner_recovery_from_full_maps(self, maps):
+        pred = predict_partners(maps.to_matrix())
+        assert recovery_rate(pred, maps.complexes, k=1) > 0.8
+
+    def test_pruning_keeps_partner_signal(self, maps):
+        # The phase-II claim: cut the docking points ~10x, keep the signal.
+        pruned = maps.pruned(keep_fraction=0.1)
+        pred = predict_partners(pruned.to_matrix())
+        assert recovery_rate(pred, maps.complexes, k=1) > 0.7
+
+    def test_pruning_shrinks_cost_linearly(self, maps):
+        assert maps.docking_cost_fraction(0.1) == pytest.approx(0.1, abs=0.01)
+        assert maps.pruned(0.1).n_positions == round(0.1 * maps.n_positions)
+
+    def test_pruned_positions_are_mostly_site(self, maps):
+        pruned = maps.pruned(keep_fraction=0.2)
+        # The surviving positions concentrate on the planted interfaces.
+        assert pruned.planted_sites.mean() > 2 * maps.planted_sites.mean()
+
+    def test_pruned_has_no_shared_grid(self, maps):
+        assert maps.pruned(0.5).directions is None
+
+    def test_keep_everything_is_identity_up_to_order(self, maps):
+        pruned = maps.pruned(1.0)
+        np.testing.assert_allclose(
+            np.sort(pruned.energies, axis=2), np.sort(maps.energies, axis=2)
+        )
+
+    def test_validation(self, maps):
+        with pytest.raises(ValueError):
+            maps.pruned(0.0)
+        with pytest.raises(ValueError):
+            maps.docking_cost_fraction(1.5)

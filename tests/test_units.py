@@ -1,0 +1,115 @@
+"""Tests for repro.units: the paper's y:d:h:m:s notation and helpers."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro import units
+
+
+class TestYDHMS:
+    def test_paper_phase1_total_roundtrip(self):
+        # The headline figure of Section 4.1.
+        text = "1,488:237:19:45:54"
+        seconds = units.parse_ydhms(text)
+        assert str(units.seconds_to_ydhms(seconds)) == text
+
+    def test_paper_wcg_total_roundtrip(self):
+        text = "8,082:275:17:15:44"
+        seconds = units.parse_ydhms(text)
+        assert str(units.seconds_to_ydhms(seconds)) == text
+
+    def test_zero(self):
+        d = units.seconds_to_ydhms(0)
+        assert (d.years, d.days, d.hours, d.minutes, d.seconds) == (0, 0, 0, 0, 0)
+
+    def test_one_year_boundary(self):
+        d = units.seconds_to_ydhms(units.SECONDS_PER_YEAR)
+        assert (d.years, d.days) == (1, 0)
+
+    def test_truncates_fractional_seconds(self):
+        assert units.seconds_to_ydhms(1.999).seconds == 1
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.seconds_to_ydhms(-1)
+
+    def test_parse_rejects_wrong_field_count(self):
+        with pytest.raises(ValueError):
+            units.parse_ydhms("1:2:3:4")
+
+    def test_parse_rejects_out_of_range_fields(self):
+        with pytest.raises(ValueError):
+            units.parse_ydhms("1:366:00:00:00")
+        with pytest.raises(ValueError):
+            units.parse_ydhms("1:000:24:00:00")
+        with pytest.raises(ValueError):
+            units.parse_ydhms("1:000:00:60:00")
+        with pytest.raises(ValueError):
+            units.parse_ydhms("1:000:00:00:60")
+
+    @given(st.integers(min_value=0, max_value=10**13))
+    def test_roundtrip_property(self, seconds):
+        assert units.seconds_to_ydhms(seconds).to_seconds() == seconds
+
+    @given(st.integers(min_value=0, max_value=10**13))
+    def test_parse_format_roundtrip_property(self, seconds):
+        text = str(units.seconds_to_ydhms(seconds))
+        assert units.parse_ydhms(text) == seconds
+
+
+class TestConversions:
+    def test_hours(self):
+        assert units.hours(2) == 7200
+
+    def test_days(self):
+        assert units.days(1) == 86_400
+
+    def test_weeks(self):
+        assert units.weeks(1) == 7 * 86_400
+
+    def test_years(self):
+        assert units.years(1) == 365 * 86_400
+
+    def test_vftp_definition_anchor(self):
+        # "10 years of cpu time for 1 day" = 3650 processors (Section 3.1).
+        assert units.years(10) / units.days(1) == 3650
+
+
+class TestFormatDuration:
+    @pytest.mark.parametrize(
+        "seconds,expected",
+        [
+            (30, "30 s"),
+            (90, "1.5 min"),
+            (7200, "2 h"),
+            (2 * 86_400, "2 d"),
+            (2 * units.SECONDS_PER_YEAR, "2 y"),
+        ],
+    )
+    def test_unit_selection(self, seconds, expected):
+        assert units.format_duration(seconds) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_duration(-5)
+
+
+class TestFormatBytes:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0 B"),
+            (512, "512 B"),
+            (2048, "2 KiB"),
+            (123 * 1024**3, "123 GiB"),
+        ],
+    )
+    def test_values(self, n, expected):
+        assert units.format_bytes(n) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            units.format_bytes(-1)
