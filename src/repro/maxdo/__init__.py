@@ -11,10 +11,16 @@ This subpackage reimplements that pipeline on the synthetic substrate of
 
 * :mod:`repro.maxdo.orientations` — the 21 (alpha, beta) starting-orientation
   couples x 10 gamma values of the paper (footnote 1);
-* :mod:`repro.maxdo.energy` — vectorized interaction energy and bead forces;
-* :mod:`repro.maxdo.minimize` — rigid-body 6-DOF minimization;
+* :mod:`repro.maxdo.energy` — vectorized interaction energy and bead forces,
+  both the scalar reference kernels and their pose-batched counterparts;
+* :mod:`repro.maxdo.pairtable` — cached pose-invariant per-couple arrays
+  feeding the batched kernels;
+* :mod:`repro.maxdo.minimize` — rigid-body 6-DOF minimization, scalar and
+  lockstep-batched;
 * :mod:`repro.maxdo.docking` — the isep x irot energy-map driver with
-  checkpointing (:mod:`repro.maxdo.checkpoint`) and the text result format
+  engine selection (``"batched"``/``"reference"``), optional process-pool
+  fan-out over starting positions, checkpointing
+  (:mod:`repro.maxdo.checkpoint`) and the text result format
   (:mod:`repro.maxdo.resultfile`);
 * :mod:`repro.maxdo.cost_model` — the computing-time model of Section 4.1:
   a calibrated 168 x 168 ``Mct`` matrix with the paper's linearity
@@ -23,18 +29,29 @@ This subpackage reimplements that pipeline on the synthetic substrate of
 
 from .cost_model import CostModel
 from .docking import DockingResult, MaxDoRun, dock_couple
-from .energy import interaction_energy, pair_energies
-from .minimize import minimize_rigid
+from .energy import (
+    batch_energy_and_pose_gradient,
+    batch_interaction_energy,
+    interaction_energy,
+    pair_energies,
+)
+from .minimize import minimize_rigid, minimize_rigid_batch
 from .orientations import gamma_values, orientation_couples, rotation_matrix
+from .pairtable import PairTable, pair_table
 
 __all__ = [
     "CostModel",
     "DockingResult",
     "MaxDoRun",
+    "PairTable",
     "dock_couple",
     "interaction_energy",
     "pair_energies",
+    "pair_table",
+    "batch_interaction_energy",
+    "batch_energy_and_pose_gradient",
     "minimize_rigid",
+    "minimize_rigid_batch",
     "gamma_values",
     "orientation_couples",
     "rotation_matrix",

@@ -13,6 +13,8 @@ about that axis.  Rotations use the ZYZ Euler convention
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 import numpy as np
 
 from ..proteins.surface import fibonacci_sphere
@@ -24,6 +26,7 @@ __all__ = [
     "gamma_values",
     "rotation_matrix",
     "rotation_matrices",
+    "rotation_matrix_derivatives",
     "euler_from_matrix",
 ]
 
@@ -32,24 +35,44 @@ N_COUPLES = 21
 N_GAMMA = 10
 
 
+@lru_cache(maxsize=64)
+def _orientation_couples_cached(n: int) -> np.ndarray:
+    dirs = fibonacci_sphere(n)
+    alpha = np.arctan2(dirs[:, 1], dirs[:, 0])
+    beta = np.arccos(np.clip(dirs[:, 2], -1.0, 1.0))
+    couples = np.column_stack((alpha, beta))
+    couples.setflags(write=False)
+    return couples
+
+
 def orientation_couples(n: int = N_COUPLES) -> np.ndarray:
     """Return ``n`` (alpha, beta) couples as an (n, 2) array in radians.
 
     Directions come from the deterministic Fibonacci sphere so the couples
     form a "regular array" as in the paper; alpha in [-pi, pi), beta in
-    [0, pi].
+    [0, pi].  The enumeration is pure in ``n``, so results are memoized and
+    returned as shared read-only arrays — ``MaxDoRun.run`` and
+    ``dock_couple`` stop regenerating the identical grid on every
+    call/resume.
     """
-    dirs = fibonacci_sphere(n)
-    alpha = np.arctan2(dirs[:, 1], dirs[:, 0])
-    beta = np.arccos(np.clip(dirs[:, 2], -1.0, 1.0))
-    return np.column_stack((alpha, beta))
+    return _orientation_couples_cached(int(n))
+
+
+@lru_cache(maxsize=64)
+def _gamma_values_cached(n: int) -> np.ndarray:
+    values = np.linspace(0.0, 2.0 * np.pi, num=n, endpoint=False)
+    values.setflags(write=False)
+    return values
 
 
 def gamma_values(n: int = N_GAMMA) -> np.ndarray:
-    """Return ``n`` evenly spaced spin angles in [0, 2*pi)."""
+    """Return ``n`` evenly spaced spin angles in [0, 2*pi).
+
+    Memoized (shared read-only array), like :func:`orientation_couples`.
+    """
     if n < 1:
         raise ValueError(f"need at least one gamma value, got {n}")
-    return np.linspace(0.0, 2.0 * np.pi, num=n, endpoint=False)
+    return _gamma_values_cached(int(n))
 
 
 def _rz(angle: float) -> np.ndarray:
@@ -85,6 +108,52 @@ def rotation_matrices(angles: np.ndarray) -> np.ndarray:
     out[:, 2, 0] = -sb * cg
     out[:, 2, 1] = sb * sg
     out[:, 2, 2] = cb
+    return out
+
+
+def _rz_batch(angles: np.ndarray, derivative: bool = False) -> np.ndarray:
+    c, s = np.cos(angles), np.sin(angles)
+    out = np.zeros(angles.shape + (3, 3))
+    if derivative:
+        out[:, 0, 0], out[:, 0, 1] = -s, -c
+        out[:, 1, 0], out[:, 1, 1] = c, -s
+    else:
+        out[:, 0, 0], out[:, 0, 1] = c, -s
+        out[:, 1, 0], out[:, 1, 1] = s, c
+        out[:, 2, 2] = 1.0
+    return out
+
+
+def _ry_batch(angles: np.ndarray, derivative: bool = False) -> np.ndarray:
+    c, s = np.cos(angles), np.sin(angles)
+    out = np.zeros(angles.shape + (3, 3))
+    if derivative:
+        out[:, 0, 0], out[:, 0, 2] = -s, c
+        out[:, 2, 0], out[:, 2, 2] = -c, -s
+    else:
+        out[:, 0, 0], out[:, 0, 2] = c, s
+        out[:, 1, 1] = 1.0
+        out[:, 2, 0], out[:, 2, 2] = -s, c
+    return out
+
+
+def rotation_matrix_derivatives(angles: np.ndarray) -> np.ndarray:
+    """Batched analytic derivatives of the ZYZ rotation.
+
+    ``angles`` is (m, 3); the result is (m, 3, 3, 3) with ``out[b, k]`` the
+    matrix ``dR/d angles[b, k]`` — the Euler chain-rule factors the batched
+    pose-gradient kernel contracts bead gradients against.
+    """
+    angles = np.asarray(angles, dtype=np.float64)
+    if angles.ndim != 2 or angles.shape[1] != 3:
+        raise ValueError(f"angles must be (m, 3), got {angles.shape}")
+    rz_a = _rz_batch(angles[:, 0])
+    ry_b = _ry_batch(angles[:, 1])
+    rz_g = _rz_batch(angles[:, 2])
+    out = np.empty((angles.shape[0], 3, 3, 3))
+    out[:, 0] = _rz_batch(angles[:, 0], derivative=True) @ ry_b @ rz_g
+    out[:, 1] = rz_a @ _ry_batch(angles[:, 1], derivative=True) @ rz_g
+    out[:, 2] = rz_a @ ry_b @ _rz_batch(angles[:, 2], derivative=True)
     return out
 
 

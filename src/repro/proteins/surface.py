@@ -83,6 +83,14 @@ def geometric_nsep(receptor: ReducedProtein, spacing: float) -> int:
     return int(per_shell.sum())
 
 
+#: Identity-keyed memo for :func:`starting_positions`.  ReducedProtein
+#: holds numpy arrays and is not hashable, so entries key on ``id`` and
+#: keep a strong reference to the receptor — the stored receptor check
+#: below makes an ``id`` collision with a collected object impossible.
+_POSITIONS_CACHE: dict[tuple[int, int], tuple[ReducedProtein, np.ndarray]] = {}
+_POSITIONS_CACHE_MAX = 32
+
+
 def starting_positions(receptor: ReducedProtein, n: int) -> np.ndarray:
     """Return exactly ``n`` starting positions around ``receptor``.
 
@@ -92,9 +100,18 @@ def starting_positions(receptor: ReducedProtein, n: int) -> np.ndarray:
     The returned array is (n, 3), ordered shell by shell, innermost first —
     a deterministic, index-stable enumeration so that workunit ``isep``
     ranges always denote the same physical positions.
+
+    Results are memoized per ``(receptor, n)`` and returned as shared
+    read-only arrays: ``MaxDoRun.run``/``dock_couple`` regenerate the
+    enumeration on every call/resume, and the grid only depends on the
+    receptor geometry.
     """
     if n < 1:
         raise ValueError(f"need at least one starting position, got {n}")
+    key = (id(receptor), int(n))
+    hit = _POSITIONS_CACHE.get(key)
+    if hit is not None and hit[0] is receptor:
+        return hit[1]
     radii = shell_radii(receptor)
     if n < len(radii):
         radii = radii[:n]
@@ -111,4 +128,9 @@ def starting_positions(receptor: ReducedProtein, n: int) -> np.ndarray:
         for count, radius in zip(counts, radii)
         if count > 0
     ]
-    return np.concatenate(parts, axis=0)
+    positions = np.concatenate(parts, axis=0)
+    positions.setflags(write=False)
+    if len(_POSITIONS_CACHE) >= _POSITIONS_CACHE_MAX:
+        _POSITIONS_CACHE.pop(next(iter(_POSITIONS_CACHE)))
+    _POSITIONS_CACHE[key] = (receptor, positions)
+    return positions
