@@ -20,7 +20,10 @@ substrates:
 * :mod:`repro.dedicated` — the Grid'5000-like dedicated grid;
 * :mod:`repro.fluid` — the full-scale analytic campaign model;
 * :mod:`repro.analysis` / :mod:`repro.validation` — reporting and the
-  Section 5.2 result checks.
+  Section 5.2 result checks;
+* :mod:`repro.obs` — campaign observability: structured event tracing,
+  the metrics registry behind the telemetry, and profiling hooks
+  (docs/observability.md).
 
 Quickstart::
 
@@ -42,6 +45,7 @@ from .core.workunit import WorkUnit
 from .fluid import FluidCampaign
 from .grid.population import WCGPopulationModel, hcmd_share_schedule
 from .maxdo.cost_model import CostModel
+from .obs import MetricsRegistry, Profiler, Tracer
 from .proteins.library import ProteinLibrary
 
 __version__ = "1.0.0"
@@ -62,6 +66,9 @@ __all__ = [
     "WCGPopulationModel",
     "hcmd_share_schedule",
     "CostModel",
+    "MetricsRegistry",
+    "Profiler",
+    "Tracer",
     "ProteinLibrary",
     "__version__",
 ]

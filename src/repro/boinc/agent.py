@@ -17,6 +17,10 @@ Behaviour modeled per the paper:
 * a fetched workunit may be silently abandoned (host never reconnects);
   the server's deadline reclaims it;
 * an idle agent with no work available polls again a few hours later.
+
+Observability: pass ``tracer=`` to record the agent-channel events
+(``agent.fetch`` / ``idle`` / ``abandon`` / ``checkpoint`` / ``complete``
+/ ``report``) — see docs/observability.md.
 """
 
 from __future__ import annotations
@@ -36,6 +40,7 @@ from .credit import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import Tracer
     from .server import GridServer, Instance
     from .simulator import Telemetry
 
@@ -65,6 +70,7 @@ class VolunteerAgent:
         telemetry: "Telemetry",
         rng: np.random.Generator,
         accounting: AccountingMode = AccountingMode.UD_WALL_CLOCK,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.sim = sim
         self.server = server
@@ -72,6 +78,7 @@ class VolunteerAgent:
         self.telemetry = telemetry
         self.rng = rng
         self.accounting = accounting
+        self.tracer = tracer
         self.benchmark = HostBenchmark(
             host_speed=spec.speed,
             measurement_bias=float(np.exp(rng.normal(0.0, BENCHMARK_BIAS_SIGMA))),
@@ -111,6 +118,11 @@ class VolunteerAgent:
         instance = self.server.request_work(self.spec.host_id)
         if instance is None:
             poll = float(self.rng.exponential(WORK_POLL_HOURS * SECONDS_PER_HOUR))
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "agent.idle", t_sim=self.sim.now,
+                    host=self.spec.host_id, poll_s=max(poll, 600.0),
+                )
             self.sim.schedule(max(poll, 600.0), lambda: self._when_available(self._fetch_work))
             return
         self.instance = instance
@@ -120,10 +132,20 @@ class VolunteerAgent:
         self._done = 0.0
         self._checkpointed = 0.0
         self._active_s = 0.0
+        if self.tracer is not None:
+            self.tracer.emit(
+                "agent.fetch", t_sim=self.sim.now,
+                host=self.spec.host_id, wu=wu.wu_id,
+            )
         if self.rng.random() < self.spec.abandon_prob:
             # Volunteer walks away; the deadline will reclaim the copy and
             # this agent only comes back after it has passed.
             self.instance = None
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "agent.abandon", t_sim=self.sim.now,
+                    host=self.spec.host_id, wu=wu.wu_id,
+                )
             self.sim.schedule(
                 self.server.config.deadline_s * 1.5,
                 lambda: self._when_available(self._fetch_work),
@@ -155,9 +177,21 @@ class VolunteerAgent:
         self._done += active_span * self.spec.progress_rate
         # Checkpoints commit at starting-position boundaries.
         self._checkpointed = np.floor(self._done / self._chunk) * self._chunk
-        if self.rng.random() < KILL_PROBABILITY:
+        killed = bool(self.rng.random() < KILL_PROBABILITY)
+        lost_s = self._done - self._checkpointed
+        if killed:
             # Killed: in-memory progress since the last checkpoint is lost.
             self._done = self._checkpointed
+        if self.tracer is not None:
+            instance = self.instance
+            self.tracer.emit(
+                "agent.checkpoint", t_sim=self.sim.now,
+                host=self.spec.host_id,
+                wu=instance.wu.wu_id if instance is not None else None,
+                killed=killed,
+                lost_reference_s=lost_s if killed else 0.0,
+                done_fraction=self._done / self._cost if self._cost else 1.0,
+            )
         self._when_available(self._compute_step)
 
     def _complete(self) -> None:
@@ -174,11 +208,23 @@ class VolunteerAgent:
             self.sim.now, active_s, instance.wu.cost_reference_s
         )
         delay = float(self.rng.exponential(self.spec.report_delay_mean_s))
+        if self.tracer is not None:
+            self.tracer.emit(
+                "agent.complete", t_sim=self.sim.now,
+                host=self.spec.host_id, wu=instance.wu.wu_id,
+                active_s=active_s, report_delay_s=delay,
+            )
         self.sim.schedule(delay, self._report, instance, valid, active_s)
 
     def _report(self, instance: "Instance", valid: bool, active_s: float) -> None:
         accounted = accounted_seconds(self.spec, active_s, self.accounting)
         credit = claimed_credit(self.spec, active_s, self.accounting, self.benchmark)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "agent.report", t_sim=self.sim.now,
+                host=self.spec.host_id, wu=instance.wu.wu_id,
+                valid=valid, accounted_cpu_s=accounted,
+            )
         self.server.on_result(instance, valid, accounted)
         self.telemetry.record_result(self.sim.now, accounted)
         self.telemetry.record_credit(credit)

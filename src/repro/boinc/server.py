@@ -5,13 +5,21 @@ receptor batch in least-cost-first order (Section 5.1).  Per workunit it
 tracks issued instances, applies the validation policy on incoming results,
 reissues after deadline misses or invalid results, and fires callbacks when
 workunits and receptor batches complete.
+
+Observability: pass ``tracer=`` to record the server-channel events
+(``server.release`` / ``issue`` / ``reissue`` / ``result`` / ``validate``
+/ ``batch_complete`` / ``campaign_complete``) — see docs/observability.md
+for the taxonomy and field meanings.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import Tracer
 
 from ..core.workunit import WorkUnit
 from ..grid.des import Event, Simulator
@@ -81,10 +89,12 @@ class GridServer:
         config: ServerConfig | None = None,
         on_workunit_valid: Callable[[WorkUnit, float], None] | None = None,
         on_batch_complete: Callable[[int, float], None] | None = None,
+        tracer: "Tracer | None" = None,
     ) -> None:
         self.sim = sim
         self.config = config if config is not None else ServerConfig()
         self.stats = ValidationStats()
+        self.tracer = tracer
         self._on_workunit_valid = on_workunit_valid
         self._on_batch_complete = on_batch_complete
 
@@ -138,6 +148,11 @@ class GridServer:
         instance.timeout_event = self.sim.schedule(
             self.config.deadline_s, self._on_timeout, state, instance
         )
+        if self.tracer is not None:
+            self.tracer.emit(
+                "server.issue", t_sim=self.sim.now,
+                wu=state.wu.wu_id, host=host_id, batch=state.batch,
+            )
         return instance
 
     def _next_state(self, host_id: int) -> _WorkunitState | None:
@@ -166,6 +181,12 @@ class GridServer:
             for _ in range(replication - 1):
                 self._reissue.append(state)
             self._fresh += 1
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "server.release", t_sim=self.sim.now,
+                    wu=state.wu.wu_id, batch=state.batch,
+                    replication=replication,
+                )
             return state
         return None
 
@@ -177,6 +198,11 @@ class GridServer:
         state.outstanding -= 1
         if not state.done:
             self._reissue.append(state)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "server.reissue", t_sim=self.sim.now,
+                    wu=state.wu.wu_id, host=instance.host_id, reason="deadline",
+                )
 
     # -- results -----------------------------------------------------------
 
@@ -191,6 +217,12 @@ class GridServer:
         state = self._state_of(instance.wu)
         state.outstanding = max(0, state.outstanding - 1)
         self.stats.record_result(accounted_cpu_s)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "server.result", t_sim=self.sim.now,
+                wu=state.wu.wu_id, host=instance.host_id, valid=valid,
+                late=state.done, accounted_cpu_s=accounted_cpu_s,
+            )
 
         adaptive = self.config.adaptive
         if state.done:
@@ -201,6 +233,11 @@ class GridServer:
             if adaptive is not None:
                 adaptive.record_invalid(instance.host_id)
             self._reissue.append(state)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "server.reissue", t_sim=self.sim.now,
+                    wu=state.wu.wu_id, host=instance.host_id, reason="invalid",
+                )
             return
 
         if adaptive is not None:
@@ -219,6 +256,12 @@ class GridServer:
         elif state.outstanding == 0:
             # Waiting for a quorum partner nobody is computing: reissue.
             self._reissue.append(state)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "server.reissue", t_sim=self.sim.now,
+                    wu=state.wu.wu_id, host=instance.host_id,
+                    reason="quorum-stall",
+                )
 
     def _state_of(self, wu: WorkUnit) -> _WorkunitState:
         state = self._states[wu.wu_id]
@@ -229,12 +272,27 @@ class GridServer:
     def _validate(self, state: _WorkunitState, regime: str) -> None:
         state.done = True
         self.stats.record_validation(state.wu.cost_reference_s, regime)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "server.validate", t_sim=self.sim.now,
+                wu=state.wu.wu_id, batch=state.batch, regime=regime,
+            )
         if self._on_workunit_valid is not None:
             self._on_workunit_valid(state.wu, self.sim.now)
         self._batch_remaining[state.batch] -= 1
         if self._batch_remaining[state.batch] == 0:
             self.batch_completion[state.batch] = self.sim.now
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "server.batch_complete", t_sim=self.sim.now,
+                    batch=state.batch,
+                )
             if self._on_batch_complete is not None:
                 self._on_batch_complete(state.batch, self.sim.now)
         if self.stats.effective == len(self._states):
             self.completion_time = self.sim.now
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "server.campaign_complete", t_sim=self.sim.now,
+                    n_workunits=len(self._states),
+                )

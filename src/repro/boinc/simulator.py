@@ -20,6 +20,14 @@ aggregates next to raw ones.  Scale-independent quantities (redundancy
 factor, speed-down, useful-result fraction, completion shape) are the
 reproduction targets; the fluid model (:mod:`repro.fluid`) provides the
 full-scale absolute numbers.
+
+Observability: :class:`Telemetry` is built on a
+:class:`repro.obs.MetricsRegistry` (every daily series/counter/histogram
+it keeps is uniformly exportable), and passing ``tracer=`` /
+``profiler=`` to :class:`VolunteerGridSimulation` (or
+:func:`scaled_phase1`) threads structured event tracing and per-callback
+timing through the DES kernel, the server and every agent.  See
+docs/observability.md.
 """
 
 from __future__ import annotations
@@ -29,6 +37,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from .. import constants
+from ..obs import MetricsRegistry, Profiler, Tracer
 from ..core.campaign import CampaignPlan
 from ..core.metrics import CampaignMetrics
 from ..core.packaging import PackagingPolicy, WorkUnitPlan
@@ -48,44 +57,137 @@ from .validator import ValidationPolicy
 __all__ = ["Telemetry", "CampaignResult", "VolunteerGridSimulation", "scaled_phase1"]
 
 
-class Telemetry:
-    """Daily-bucketed campaign telemetry."""
+#: Device run-time histogram bucket bounds, in hours (the Figure 8 axis:
+#: the paper's mean is ~13 h for ~3.3 h reference workunits).
+RUN_HOURS_BUCKETS = (1.0, 2.0, 4.0, 8.0, 13.0, 24.0, 48.0, 96.0)
 
-    def __init__(self, horizon_s: float) -> None:
+
+class Telemetry:
+    """Daily-bucketed campaign telemetry, kept in a metrics registry.
+
+    Public accessors (``daily_cpu_s``, ``weekly_vftp`` ...) are unchanged
+    from the original hand-rolled class, but the underlying storage is a
+    :class:`repro.obs.MetricsRegistry` of daily series / counters /
+    histograms, so every recorded quantity exports uniformly through
+    ``registry.as_dict()`` (and rides along in ``metrics.json``).
+
+    Out-of-horizon samples are clamped to the edge day *and* counted in
+    the ``telemetry.clamped_samples`` counter; with a tracer attached each
+    clamp additionally emits a ``telemetry.clamp`` warning event, so the
+    information loss is observable instead of silent.
+    """
+
+    def __init__(
+        self,
+        horizon_s: float,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ) -> None:
         self.horizon_s = horizon_s
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
         n_days = int(np.ceil(horizon_s / SECONDS_PER_DAY)) + 1
-        self.daily_cpu_s = np.zeros(n_days)
-        self.daily_results = np.zeros(n_days, dtype=np.int64)
-        self.daily_useful = np.zeros(n_days, dtype=np.int64)
+        reg = self.registry
+        self._cpu = reg.daily_series(
+            "campaign.daily_cpu_s", n_days,
+            help="accounted volunteer CPU seconds per day (VFTP series)",
+        )
+        self._results = reg.daily_series(
+            "campaign.daily_results", n_days, dtype=np.int64,
+            help="results disclosed per day",
+        )
+        self._useful = reg.daily_series(
+            "campaign.daily_useful", n_days, dtype=np.int64,
+            help="workunits validated per day",
+        )
+        self._credit = reg.counter(
+            "campaign.claimed_credit_points", help="total claimed credit points"
+        )
+        self._shipped = reg.counter(
+            "campaign.shipped_bytes",
+            help="result bytes shipped to the storage server",
+        )
+        self._clamped = reg.counter(
+            "telemetry.clamped_samples",
+            help="samples clamped to the horizon edge (see telemetry.clamp)",
+        )
+        self._run_hours = reg.histogram(
+            "campaign.run_active_hours", RUN_HOURS_BUCKETS,
+            help="per-result device-side active run time (hours, Figure 8)",
+        )
+        self._last_day = n_days - 1
         self.run_active_s: list[float] = []
         self.run_reference_s: list[float] = []
-        self.total_claimed_credit = 0.0
         #: (time, bytes) per receptor batch shipped to the storage server
         self.shipments: list[tuple[float, int]] = []
 
+    # -- registry-backed views (the original public attributes) -----------
+
+    @property
+    def daily_cpu_s(self) -> np.ndarray:
+        return self._cpu.values
+
+    @property
+    def daily_results(self) -> np.ndarray:
+        return self._results.values
+
+    @property
+    def daily_useful(self) -> np.ndarray:
+        return self._useful.values
+
+    @property
+    def total_claimed_credit(self) -> float:
+        return self._credit.value
+
+    @property
+    def clamped_samples(self) -> int:
+        """Samples that fell outside the horizon and were edge-clamped."""
+        return int(self._clamped.value)
+
+    # -- recording ---------------------------------------------------------
+
     def _day(self, t: float) -> int:
-        return min(int(t / SECONDS_PER_DAY), len(self.daily_cpu_s) - 1)
+        """The day bucket of ``t``, clamped to the horizon — loudly.
+
+        A sample outside ``[0, horizon]`` still lands in the edge bucket
+        (the series stays well-formed) but is counted and, when tracing,
+        reported as a ``telemetry.clamp`` event instead of being silently
+        folded in.
+        """
+        day = int(t / SECONDS_PER_DAY)
+        last = self._last_day
+        if 0 <= day <= last:
+            return day
+        self._clamped.inc()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "telemetry.clamp", t_sim=t, day=day,
+                horizon_days=last,
+            )
+        return min(max(day, 0), last)
 
     def record_result(self, t: float, accounted_cpu_s: float) -> None:
         day = self._day(t)
-        self.daily_results[day] += 1
-        self.daily_cpu_s[day] += accounted_cpu_s
+        self._results.add(day)
+        self._cpu.add(day, accounted_cpu_s)
 
     def record_validation(self, t: float) -> None:
-        self.daily_useful[self._day(t)] += 1
+        self._useful.add(self._day(t))
 
     def record_credit(self, points: float) -> None:
-        self.total_claimed_credit += points
+        self._credit.inc(points)
 
     def record_shipment(self, t: float, n_bytes: int) -> None:
         """A completed receptor batch shipped to the storage server."""
         self.shipments.append((t, n_bytes))
+        self._shipped.inc(n_bytes)
 
     def record_workunit_run(
         self, t: float, active_s: float, reference_s: float
     ) -> None:
         self.run_active_s.append(active_s)
         self.run_reference_s.append(reference_s)
+        self._run_hours.observe(active_s / 3600.0)
 
     def weekly_vftp(self) -> np.ndarray:
         """Average VFTP per project week (the Figure 6a series)."""
@@ -214,6 +316,9 @@ class CampaignResult:
                     "speed_down_raw": m.speed_down_raw,
                     "speed_down_net": m.speed_down_net,
                     "shipped_bytes": self.shipped_bytes_total(),
+                    # every registry metric (daily series, counters,
+                    # histograms) rides along, self-describing
+                    "registry": t.registry.as_dict(),
                 },
                 experiment="scaled phase-I campaign",
             )
@@ -239,9 +344,15 @@ class VolunteerGridSimulation:
         seed: int = constants.DEFAULT_SEED,
         accounting: "AccountingMode | None" = None,
         release_policy: str = "least-cost",
+        tracer: Tracer | None = None,
+        profiler: Profiler | None = None,
     ) -> None:
         self.library = library
         self.cost_model = cost_model
+        #: structured event tracing for the DES/server/agents (opt-in)
+        self.tracer = tracer
+        #: per-callback and per-phase wall-time aggregation (opt-in)
+        self.profiler = profiler
         self.packaging = packaging if packaging is not None else PackagingPolicy(
             target_hours=3.65
         )
@@ -338,18 +449,20 @@ class VolunteerGridSimulation:
 
     def run(self) -> CampaignResult:
         """Run the campaign to completion (or the horizon)."""
-        sim = Simulator()
-        telemetry = Telemetry(self.horizon_s)
+        sim = Simulator(tracer=self.tracer, profiler=self.profiler)
+        telemetry = Telemetry(self.horizon_s, tracer=self.tracer)
+        profiler = self.profiler if self.profiler is not None else Profiler()
 
-        ordered_couples = self.campaign.ordered_couples()
-        n = len(self.library)
-        workunits: list[tuple[WorkUnit, int]] = []
-        wu_id = 0
-        for pos, couple in enumerate(ordered_couples):
-            batch = pos // n
-            for wu in self.plan.iter_workunits([couple], id_start=wu_id):
-                workunits.append((wu, batch))
-                wu_id += 1
+        with profiler.timed("setup.workunits"):
+            ordered_couples = self.campaign.ordered_couples()
+            n = len(self.library)
+            workunits: list[tuple[WorkUnit, int]] = []
+            wu_id = 0
+            for pos, couple in enumerate(ordered_couples):
+                batch = pos // n
+                for wu in self.plan.iter_workunits([couple], id_start=wu_id):
+                    workunits.append((wu, batch))
+                    wu_id += 1
 
         # Result volume shipped when a receptor batch completes ("when one
         # protein has been docked with the 168 others", Section 5.2): one
@@ -370,24 +483,28 @@ class VolunteerGridSimulation:
             on_batch_complete=lambda batch, t: telemetry.record_shipment(
                 t, batch_bytes[batch]
             ),
+            tracer=self.tracer,
         )
 
-        arrivals = self._host_arrival_times()
-        agents: list[VolunteerAgent] = []
-        for idx, join_t in enumerate(arrivals):
-            spec = self.host_model.spec(idx, join_time=float(join_t))
-            agent = VolunteerAgent(
-                sim,
-                server,
-                spec,
-                telemetry,
-                rng=substream(self.seed, "agent", idx),
-                accounting=self.accounting,
-            )
-            agents.append(agent)
-            sim.schedule_at(float(join_t), agent.start)
+        with profiler.timed("setup.hosts"):
+            arrivals = self._host_arrival_times()
+            agents: list[VolunteerAgent] = []
+            for idx, join_t in enumerate(arrivals):
+                spec = self.host_model.spec(idx, join_time=float(join_t))
+                agent = VolunteerAgent(
+                    sim,
+                    server,
+                    spec,
+                    telemetry,
+                    rng=substream(self.seed, "agent", idx),
+                    accounting=self.accounting,
+                    tracer=self.tracer,
+                )
+                agents.append(agent)
+                sim.schedule_at(float(join_t), agent.start)
 
-        sim.run(until=self.horizon_s)
+        with profiler.timed("des.run"):
+            sim.run(until=self.horizon_s)
 
         n_batches = len(self.library)
         batch_completion = np.full(n_batches, np.nan)
@@ -421,6 +538,11 @@ def scaled_phase1(
     thousand workunits — minutes of simulation — while preserving the
     scale-free observables (redundancy, speed-down, useful fraction,
     three-phase shape).
+
+    Extra keyword arguments reach :class:`VolunteerGridSimulation`
+    unchanged; in particular ``tracer=Tracer.to_jsonl(path)`` records a
+    structured campaign trace and ``profiler=Profiler()`` aggregates
+    per-callback wall time (see docs/observability.md).
     """
     sum_nsep = max(
         n_proteins,

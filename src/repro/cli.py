@@ -8,8 +8,13 @@
     repro-hcmd compare                   # Table 2 equivalence, Section 6
     repro-hcmd project --weeks 40        # phase-II projection, Section 7
     repro-hcmd capacity --devices 836000 # server-capacity check, Section 3.2
+    repro-hcmd trace campaign.jsonl      # replay a structured event trace
 
 Every command prints plain-text tables via :mod:`repro.analysis.report`.
+``simulate --trace PATH`` records a structured JSONL event trace and
+``simulate --profile`` prints per-callback wall-time aggregation; the
+``trace`` subcommand turns a recorded trace into a summary table and a
+human-readable timeline (see docs/observability.md).
 """
 
 from __future__ import annotations
@@ -58,6 +63,20 @@ def build_parser() -> argparse.ArgumentParser:
     simu.add_argument(
         "--accounting", default="ud", choices=[m.value for m in AccountingMode]
     )
+    simu.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record a structured JSONL event trace of the campaign "
+             "(replay it with `repro-hcmd trace PATH`)",
+    )
+    simu.add_argument(
+        "--trace-channels", default=None,
+        help="comma-separated channels to trace (e.g. 'server,agent'; "
+             "default: all; the 'des' channel is the most voluminous)",
+    )
+    simu.add_argument(
+        "--profile", action="store_true",
+        help="aggregate wall time per DES callback and print the summary",
+    )
 
     sub.add_parser("compare", help="Table 2: volunteer vs dedicated grid")
 
@@ -91,6 +110,20 @@ def build_parser() -> argparse.ArgumentParser:
     sites.add_argument(
         "--keep", type=float, default=0.01,
         help="fraction of docking points kept (phase II uses 0.01)",
+    )
+
+    trace = sub.add_parser(
+        "trace", help="summarize a structured JSONL campaign trace"
+    )
+    trace.add_argument("path", help="JSONL trace (from `simulate --trace`)")
+    trace.add_argument(
+        "--limit", type=int, default=20,
+        help="max timeline lines (head + tail; default 20)",
+    )
+    trace.add_argument(
+        "--channel", default=None,
+        help="restrict the timeline to one channel (des, server, agent, "
+             "docking, telemetry)",
     )
     return parser
 
@@ -140,14 +173,30 @@ def _cmd_package(args: argparse.Namespace) -> int:
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .boinc.simulator import scaled_phase1
+    from .obs import Profiler, Tracer
 
+    tracer = None
+    if args.trace is not None:
+        channels = (
+            [c.strip() for c in args.trace_channels.split(",") if c.strip()]
+            if args.trace_channels is not None
+            else None
+        )
+        tracer = Tracer.to_jsonl(args.trace, channels=channels)
+    profiler = Profiler() if args.profile else None
     sim = scaled_phase1(
         scale=args.scale,
         n_proteins=args.proteins,
         seed=args.seed,
         accounting=AccountingMode(args.accounting),
+        tracer=tracer,
+        profiler=profiler,
     )
-    result = sim.run()
+    try:
+        result = sim.run()
+    finally:
+        if tracer is not None:
+            tracer.close()
     metrics = result.metrics()
     weeks = result.completion_weeks
     print(render_table(["quantity", "value", "paper"], [
@@ -161,6 +210,37 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["points-based VFTP / truth",
          f"{result.vftp_from_credit() / result.vftp_from_useful_work():.2f}", "-"],
     ]))
+    if tracer is not None:
+        print(f"\ntrace: {tracer.n_events:,} events -> {args.trace} "
+              f"(summarize with `repro-hcmd trace {args.trace}`)")
+    if profiler is not None:
+        print("\nwall-time profile (heaviest sections first):")
+        print(profiler.render())
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .obs import format_timeline, read_trace, summarize_trace
+
+    events = read_trace(args.path)
+    summary = summarize_trace(events)
+    span = summary.sim_span_days
+    print(render_table(["quantity", "value"], [
+        ["events", summary.n_events],
+        ["event types", len(summary.by_type)],
+        ["channels", ", ".join(sorted(summary.by_channel)) or "-"],
+        ["simulated span", f"{span:.1f} days" if span is not None else "-"],
+    ]))
+    if summary.by_type:
+        print()
+        print(render_table(
+            ["event type", "channel", "count"],
+            [list(row) for row in summary.rows()],
+        ))
+    lines = format_timeline(events, limit=args.limit, channel=args.channel)
+    if lines:
+        print()
+        print("\n".join(lines))
     return 0
 
 
@@ -278,6 +358,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "partners": _cmd_partners,
     "sites": _cmd_sites,
+    "trace": _cmd_trace,
 }
 
 

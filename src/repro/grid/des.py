@@ -7,15 +7,30 @@ simplicity (callbacks, no coroutine machinery).
 
 Entities (servers, agents, clusters) hold their own state and schedule
 callbacks; the kernel only owns the clock and the queue.
+
+Observability: pass ``tracer=`` to record ``des.schedule`` / ``des.fire``
+/ ``des.cancel`` events, and ``profiler=`` to attribute wall time to each
+fired callback by qualified name.  Both default to None and then cost one
+identity check per event — see docs/observability.md.
 """
 
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable
+from typing import TYPE_CHECKING, Any, Callable
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs import Profiler, Tracer
 
 __all__ = ["Event", "Simulator"]
+
+
+def _callback_name(callback: Callable[..., None]) -> str:
+    """A stable human-readable label for a scheduled callback."""
+    name = getattr(callback, "__qualname__", None)
+    return name if name is not None else repr(callback)
 
 
 @dataclass(order=True)
@@ -45,11 +60,17 @@ class Simulator:
     ['a', 'b']
     """
 
-    def __init__(self) -> None:
+    def __init__(
+        self,
+        tracer: "Tracer | None" = None,
+        profiler: "Profiler | None" = None,
+    ) -> None:
         self.now = 0.0
         self._queue: list[Event] = []
         self._seq = 0
         self.events_processed = 0
+        self.tracer = tracer
+        self.profiler = profiler
 
     def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> Event:
         """Schedule ``callback(*args)`` after ``delay`` seconds."""
@@ -66,12 +87,25 @@ class Simulator:
         event = Event(time=time, seq=self._seq, callback=callback, args=args)
         self._seq += 1
         heapq.heappush(self._queue, event)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "des.schedule", t_sim=self.now, at=time,
+                callback=_callback_name(callback),
+            )
         return event
+
+    def _discard(self, event: Event) -> None:
+        """Drop a tombstoned event (trace point for cancellations)."""
+        if self.tracer is not None:
+            self.tracer.emit(
+                "des.cancel", t_sim=self.now, at=event.time,
+                callback=_callback_name(event.callback),
+            )
 
     def peek(self) -> float | None:
         """Time of the next live event, or None if the queue is drained."""
         while self._queue and self._queue[0].cancelled:
-            heapq.heappop(self._queue)
+            self._discard(heapq.heappop(self._queue))
         return self._queue[0].time if self._queue else None
 
     def step(self) -> bool:
@@ -79,12 +113,26 @@ class Simulator:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
+                self._discard(event)
                 continue
             if event.time < self.now:
                 raise RuntimeError("event queue corrupted: time went backwards")
             self.now = event.time
             self.events_processed += 1
-            event.callback(*event.args)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "des.fire", t_sim=event.time,
+                    callback=_callback_name(event.callback),
+                )
+            if self.profiler is not None:
+                start = time.perf_counter()
+                event.callback(*event.args)
+                self.profiler.record(
+                    f"des.{_callback_name(event.callback)}",
+                    time.perf_counter() - start,
+                )
+            else:
+                event.callback(*event.args)
             return True
         return False
 

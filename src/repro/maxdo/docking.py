@@ -6,6 +6,13 @@ content of one workunit.  ``MaxDoRun`` wraps it with the volunteer-facing
 machinery: incremental result files, checkpoint-restart between starting
 positions, and interruption (the agent can stop the run at any position
 boundary, or kill it mid-position and lose the uncommitted tail).
+
+Observability: engine selection, lockstep-batch convergence rounds,
+process-pool fan-out and per-position completion emit ``docking.*``
+events through the process-global tracer
+(``repro.obs.tracing(...)`` / ``repro.obs.set_global_tracer``);
+``MaxDoRun`` also accepts an explicit ``tracer=``.  See
+docs/observability.md.
 """
 
 from __future__ import annotations
@@ -16,6 +23,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..obs import global_tracer
 from ..proteins.model import ReducedProtein
 from ..proteins.surface import starting_positions
 from .checkpoint import Checkpoint, rollback_partial_results
@@ -163,6 +171,14 @@ def dock_position(
                 receptor, ligand, translations, eulers,
                 max_iterations=max_iterations, energy_params=energy_params,
             )
+            tracer = global_tracer()
+            if tracer is not None:
+                tracer.emit(
+                    "docking.batch",
+                    n_poses=len(batch), rounds=batch.n_iterations,
+                    evaluations=batch.n_evaluations,
+                    converged=int(np.count_nonzero(batch.converged)),
+                )
             return (
                 batch.energy_lj.reshape(n_cpl, n_gam),
                 batch.energy_elec.reshape(n_cpl, n_gam),
@@ -266,6 +282,15 @@ def dock_couple(
     couples = orientation_couples(n_couples)
     gammas = gamma_values(n_gamma)
 
+    tracer = global_tracer()
+    if tracer is not None:
+        tracer.emit(
+            "docking.engine",
+            engine=engine, receptor=receptor.name, ligand=ligand.name,
+            isep_start=isep_start, nsep=nsep, minimize=minimize,
+            n_workers=n_workers if n_workers is not None else 1,
+        )
+
     shape = (nsep, n_couples, n_gamma)
     result = DockingResult(
         receptor=receptor.name,
@@ -285,6 +310,14 @@ def dock_couple(
             )
             for p in range(nsep)
         ]
+        if tracer is not None:
+            # Workers are separate processes: their docking.* events are
+            # not captured; the fan-out itself is traced in the parent.
+            tracer.emit(
+                "docking.fanout",
+                n_workers=min(n_workers, nsep), n_tasks=nsep,
+                receptor=receptor.name, ligand=ligand.name,
+            )
         with ProcessPoolExecutor(max_workers=min(n_workers, nsep)) as pool:
             # submit order == position order: the enumerate below is the
             # deterministic ordered merge, whatever order workers finish in.
@@ -303,6 +336,12 @@ def dock_couple(
         )
         result.e_lj[p], result.e_elec[p] = lj, el
         result.positions[p], result.eulers[p] = fpos, feul
+        if tracer is not None:
+            tracer.emit(
+                "docking.position",
+                isep=isep_start + p, receptor=receptor.name,
+                ligand=ligand.name,
+            )
     return result
 
 
@@ -325,6 +364,9 @@ class MaxDoRun:
         under one engine resume cleanly under the other since the
         checkpoint granularity (a whole starting position) sits above
         the batching.
+    tracer:
+        Structured event tracer for the ``docking.*`` channel; defaults
+        to the process-global tracer (``repro.obs.tracing``) at run time.
     """
 
     def __init__(
@@ -340,6 +382,7 @@ class MaxDoRun:
         minimize: bool = True,
         max_iterations: int = 60,
         engine: str = "batched",
+        tracer=None,
     ) -> None:
         self.receptor = receptor
         self.ligand = ligand
@@ -351,6 +394,7 @@ class MaxDoRun:
         self.minimize = minimize
         self.max_iterations = max_iterations
         self.engine = _check_engine(engine)
+        self.tracer = tracer
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
         self._header = ResultHeader(
@@ -403,6 +447,15 @@ class MaxDoRun:
         all_positions = ligand_start_positions(
             starting_positions(self.receptor, self.total_nsep), self.ligand
         )
+        tracer = self.tracer if self.tracer is not None else global_tracer()
+        if tracer is not None:
+            tracer.emit(
+                "docking.engine",
+                engine=self.engine, receptor=self.receptor.name,
+                ligand=self.ligand.name, isep_start=self.isep_start,
+                nsep=self.nsep, resume_from=ckpt.positions_done,
+                minimize=self.minimize, n_workers=1,
+            )
         done_now = 0
         with self.partial_path.open("a", encoding="ascii") as fh:
             while not ckpt.complete:
@@ -436,6 +489,13 @@ class MaxDoRun:
                 ckpt = ckpt.advanced()
                 ckpt.save(self.checkpoint_path)
                 done_now += 1
+                if tracer is not None:
+                    tracer.emit(
+                        "docking.checkpoint",
+                        isep=isep, positions_done=ckpt.positions_done,
+                        nsep=self.nsep, receptor=self.receptor.name,
+                        ligand=self.ligand.name,
+                    )
         return ckpt
 
     def finalize(self) -> Path:

@@ -1,0 +1,70 @@
+"""Campaign observability: event tracing, metrics, profiling hooks.
+
+The paper's evaluation is read off operational telemetry — consumed-CPU
+series, daily result arrivals, redundancy, per-workunit run times — and
+this subpackage is the shared substrate every layer records it through:
+
+* :mod:`repro.obs.tracer` — structured, typed trace events with both
+  simulation time and wall time, streamed to a ring buffer or a JSONL
+  file, emitted by the DES kernel, the grid server, the volunteer agents
+  and the docking engine (~zero cost when disabled);
+* :mod:`repro.obs.metrics` — a registry of counters, gauges, histograms
+  and daily series; campaign telemetry is built on it, so every recorded
+  quantity is uniformly exportable;
+* :mod:`repro.obs.profile` — opt-in per-subsystem wall-time aggregation;
+* :mod:`repro.obs.replay` — trace summaries and timelines behind the
+  ``repro-hcmd trace`` subcommand;
+* :mod:`repro.obs.events` — the versioned event taxonomy, enforced at
+  emit time and kept consistent with docs/observability.md by a test.
+
+Enable tracing on a campaign::
+
+    from repro.boinc import scaled_phase1
+    from repro.obs import Tracer
+
+    tracer = Tracer.to_jsonl("campaign.jsonl")
+    result = scaled_phase1(scale=400, n_proteins=8, tracer=tracer).run()
+    tracer.close()          # then: repro-hcmd trace campaign.jsonl
+
+See docs/observability.md for the taxonomy, the trace schema and worked
+examples.
+"""
+
+from .events import CHANNELS, EVENT_TYPES, TRACE_SCHEMA_VERSION, channel_of
+from .metrics import Counter, DailySeries, Gauge, Histogram, MetricsRegistry
+from .profile import Profiler
+from .replay import TraceSummary, format_timeline, summarize_trace
+from .tracer import (
+    JsonlSink,
+    RingSink,
+    TraceEvent,
+    Tracer,
+    global_tracer,
+    read_trace,
+    set_global_tracer,
+    tracing,
+)
+
+__all__ = [
+    "CHANNELS",
+    "EVENT_TYPES",
+    "TRACE_SCHEMA_VERSION",
+    "channel_of",
+    "Counter",
+    "DailySeries",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Profiler",
+    "TraceSummary",
+    "format_timeline",
+    "summarize_trace",
+    "JsonlSink",
+    "RingSink",
+    "TraceEvent",
+    "Tracer",
+    "global_tracer",
+    "read_trace",
+    "set_global_tracer",
+    "tracing",
+]

@@ -1,0 +1,64 @@
+"""The trace event taxonomy (versioned).
+
+Every event type the instrumented subsystems may emit is declared here,
+once, with its channel implied by the dotted prefix.  :class:`Tracer`
+rejects unknown event types at emit time, and the doc-consistency check
+(``tests/test_docs_consistency.py``) keeps this registry, the emitting
+code and the taxonomy table in ``docs/observability.md`` mutually
+consistent — an event type cannot exist in one place and not the others.
+
+See docs/observability.md for the schema and the full taxonomy table.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TRACE_SCHEMA_VERSION", "EVENT_TYPES", "CHANNELS", "channel_of"]
+
+#: Version stamped into every JSONL trace line (the ``v`` key).  Bump on
+#: any backwards-incompatible change to the line layout or the reserved
+#: keys; readers refuse traces with a different version.
+TRACE_SCHEMA_VERSION = 1
+
+#: Every legal event type -> one-line description.  The channel is the
+#: dotted prefix (``server.issue`` lives on the ``server`` channel).
+EVENT_TYPES: dict[str, str] = {
+    # -- discrete-event kernel (repro.grid.des) ---------------------------
+    "des.schedule": "a callback was scheduled (`at` = firing time)",
+    "des.fire": "a scheduled callback fired",
+    "des.cancel": "a tombstoned (cancelled) event was discarded by the kernel",
+    # -- grid server (repro.boinc.server) ---------------------------------
+    "server.release": "a fresh workunit left the release queue for first issue",
+    "server.issue": "a workunit instance was handed to a requesting host",
+    "server.reissue": "a workunit re-entered the issue queue "
+                      "(`reason` = deadline | invalid | quorum-stall)",
+    "server.result": "a result report arrived (`valid`, `late`)",
+    "server.validate": "a workunit validated (`regime` = quorum | bounds | adaptive)",
+    "server.batch_complete": "every workunit of a receptor batch validated",
+    "server.campaign_complete": "the last workunit of the campaign validated",
+    # -- volunteer agent (repro.boinc.agent) -------------------------------
+    "agent.fetch": "an agent fetched a workunit instance",
+    "agent.idle": "no work was available; the agent backs off before repolling",
+    "agent.abandon": "the volunteer walked away from a fetched workunit",
+    "agent.checkpoint": "an availability interruption committed a checkpoint "
+                        "(`killed` = in-memory progress was lost)",
+    "agent.complete": "a workunit finished computing (report still pending)",
+    "agent.report": "an agent reported a finished result to the server",
+    # -- docking engine (repro.maxdo.docking) ------------------------------
+    "docking.engine": "an execution engine was selected for a docking run",
+    "docking.batch": "a lockstep batched minimization finished "
+                     "(`rounds` = fused-dispatch convergence rounds)",
+    "docking.fanout": "starting positions fanned out over a process pool",
+    "docking.position": "one starting position's energy map completed",
+    "docking.checkpoint": "MaxDoRun committed a starting-position checkpoint",
+    # -- telemetry (repro.boinc.simulator) ---------------------------------
+    "telemetry.clamp": "a telemetry sample fell outside the campaign horizon "
+                       "and was clamped to the edge day",
+}
+
+#: The per-subsystem channels, in taxonomy order.
+CHANNELS: tuple[str, ...] = ("des", "server", "agent", "docking", "telemetry")
+
+
+def channel_of(etype: str) -> str:
+    """The channel an event type belongs to (its dotted prefix)."""
+    return etype.partition(".")[0]

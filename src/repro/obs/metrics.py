@@ -1,0 +1,207 @@
+"""Metrics registry: counters, gauges, histograms, daily series.
+
+A :class:`MetricsRegistry` is a flat namespace of named metrics with
+get-or-create accessors, so independent subsystems can share one registry
+without coordinating construction order.  Metric names follow the
+``subsystem.metric_name`` convention documented in docs/observability.md;
+``as_dict()`` turns the whole registry into a JSON-safe document, which is
+how campaign telemetry rides along in ``metrics.json`` exports.
+
+The campaign's daily telemetry (:class:`repro.boinc.simulator.Telemetry`)
+is built on this registry: the VFTP/result/useful daily series are
+:class:`DailySeries` metrics, credit and clamp totals are counters and the
+per-result device run times feed a :class:`Histogram` — so every quantity
+the simulator records is uniformly exportable.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Any, Iterable, Mapping
+
+import numpy as np
+
+__all__ = ["Counter", "Gauge", "Histogram", "DailySeries", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing total."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease (inc {amount})")
+        self.value += amount
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+class Gauge:
+    """A value that can move both ways (e.g. queue depth)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "") -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+    def as_dict(self) -> dict[str, Any]:
+        return {"kind": self.kind, "help": self.help, "value": self.value}
+
+
+class Histogram:
+    """A distribution over explicit bucket upper bounds.
+
+    ``buckets`` are finite upper bounds in increasing order; an implicit
+    ``+inf`` bucket catches the tail.  ``observe(v)`` lands ``v`` in the
+    first bucket with ``v <= bound`` (Prometheus ``le`` semantics).
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self, name: str, buckets: Iterable[float], help: str = ""
+    ) -> None:
+        bounds = [float(b) for b in buckets]
+        if not bounds:
+            raise ValueError(f"histogram {name} needs at least one bucket bound")
+        if sorted(bounds) != bounds or len(set(bounds)) != len(bounds):
+            raise ValueError(
+                f"histogram {name} bucket bounds must be strictly increasing"
+            )
+        self.name = name
+        self.help = help
+        self.bounds = tuple(bounds)
+        # plain ints, not a numpy array: observe() sits on per-result hot
+        # paths where numpy scalar indexing would dominate the cost
+        self.bucket_counts = [0] * (len(bounds) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError(f"histogram {self.name} has no observations")
+        return self.sum / self.count
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "bounds": list(self.bounds),
+            "bucket_counts": list(self.bucket_counts),
+            "sum": self.sum,
+            "count": self.count,
+        }
+
+
+class DailySeries:
+    """A fixed-horizon per-day accumulation series (the telemetry shape)."""
+
+    kind = "daily_series"
+
+    def __init__(
+        self, name: str, n_days: int, dtype: Any = np.float64, help: str = ""
+    ) -> None:
+        if n_days < 1:
+            raise ValueError(f"daily series {name} needs n_days >= 1")
+        self.name = name
+        self.help = help
+        self.values = np.zeros(n_days, dtype=dtype)
+
+    @property
+    def n_days(self) -> int:
+        return len(self.values)
+
+    def add(self, day: int, amount: float = 1.0) -> None:
+        """Accumulate into an in-range day (callers own clamping policy)."""
+        if not 0 <= day < len(self.values):
+            raise IndexError(
+                f"day {day} outside [0, {len(self.values)}) for {self.name}"
+            )
+        self.values[day] += amount
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "help": self.help,
+            "values": self.values.tolist(),
+        }
+
+
+class MetricsRegistry:
+    """A flat namespace of named metrics with get-or-create accessors."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, kind: type, factory) -> Any:
+        metric = self._metrics.get(name)
+        if metric is not None:
+            if not isinstance(metric, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as {metric.kind}, "
+                    f"not {kind.kind}"
+                )
+            return metric
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str, help: str = "") -> Counter:
+        return self._get_or_create(name, Counter, lambda: Counter(name, help))
+
+    def gauge(self, name: str, help: str = "") -> Gauge:
+        return self._get_or_create(name, Gauge, lambda: Gauge(name, help))
+
+    def histogram(
+        self, name: str, buckets: Iterable[float], help: str = ""
+    ) -> Histogram:
+        return self._get_or_create(
+            name, Histogram, lambda: Histogram(name, buckets, help)
+        )
+
+    def daily_series(
+        self, name: str, n_days: int, dtype: Any = np.float64, help: str = ""
+    ) -> DailySeries:
+        return self._get_or_create(
+            name, DailySeries, lambda: DailySeries(name, n_days, dtype, help)
+        )
+
+    def get(self, name: str) -> Any:
+        return self._metrics[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def as_dict(self) -> dict[str, Mapping[str, Any]]:
+        """JSON-safe dump of every registered metric, sorted by name."""
+        return {name: self._metrics[name].as_dict() for name in self.names()}

@@ -1,0 +1,112 @@
+"""Trace replay: turn a JSONL trace back into human-readable views.
+
+Backs the ``repro-hcmd trace`` subcommand: :func:`summarize_trace`
+aggregates a trace into per-type/per-channel counts and time spans;
+:func:`format_timeline` renders events as one-line timeline entries with
+simulation timestamps.  See docs/observability.md for a worked example.
+"""
+
+from __future__ import annotations
+
+from collections import Counter as _Counter
+from dataclasses import dataclass, field
+
+from ..units import SECONDS_PER_DAY
+from .events import channel_of
+from .tracer import TraceEvent
+
+__all__ = ["TraceSummary", "summarize_trace", "format_timeline"]
+
+
+@dataclass
+class TraceSummary:
+    """Aggregate view of one trace."""
+
+    n_events: int = 0
+    by_type: _Counter = field(default_factory=_Counter)
+    by_channel: _Counter = field(default_factory=_Counter)
+    t_sim_min: float | None = None
+    t_sim_max: float | None = None
+    t_wall_min: float | None = None
+    t_wall_max: float | None = None
+
+    @property
+    def sim_span_days(self) -> float | None:
+        """Simulated span covered by the trace, in days (None if untimed)."""
+        if self.t_sim_min is None or self.t_sim_max is None:
+            return None
+        return (self.t_sim_max - self.t_sim_min) / SECONDS_PER_DAY
+
+    @property
+    def wall_span_s(self) -> float | None:
+        if self.t_wall_min is None or self.t_wall_max is None:
+            return None
+        return self.t_wall_max - self.t_wall_min
+
+    def rows(self) -> list[tuple[str, str, int]]:
+        """(event type, channel, count) rows sorted by channel then type."""
+        return [
+            (etype, channel_of(etype), self.by_type[etype])
+            for etype in sorted(self.by_type, key=lambda e: (channel_of(e), e))
+        ]
+
+
+def summarize_trace(events: list[TraceEvent]) -> TraceSummary:
+    """Aggregate a trace into counts and time spans."""
+    summary = TraceSummary(n_events=len(events))
+    for event in events:
+        summary.by_type[event.etype] += 1
+        summary.by_channel[event.channel] += 1
+        if event.t_sim is not None:
+            if summary.t_sim_min is None or event.t_sim < summary.t_sim_min:
+                summary.t_sim_min = event.t_sim
+            if summary.t_sim_max is None or event.t_sim > summary.t_sim_max:
+                summary.t_sim_max = event.t_sim
+        if summary.t_wall_min is None or event.t_wall < summary.t_wall_min:
+            summary.t_wall_min = event.t_wall
+        if summary.t_wall_max is None or event.t_wall > summary.t_wall_max:
+            summary.t_wall_max = event.t_wall
+    return summary
+
+
+def _format_sim_time(t_sim: float | None) -> str:
+    """``day 12 06:41:02``-style simulation timestamps (``-`` if untimed)."""
+    if t_sim is None:
+        return "           -"
+    day, rem = divmod(t_sim, SECONDS_PER_DAY)
+    hours, rem = divmod(rem, 3600.0)
+    minutes, seconds = divmod(rem, 60.0)
+    return f"day {int(day):3d} {int(hours):02d}:{int(minutes):02d}:{int(seconds):02d}"
+
+
+def format_event(event: TraceEvent) -> str:
+    """One timeline line: ``[day ...] type key=value ...``."""
+    parts = [f"[{_format_sim_time(event.t_sim)}]", event.etype.ljust(22)]
+    for key in sorted(event.fields):
+        value = event.fields[key]
+        if isinstance(value, float):
+            value = f"{value:g}"
+        parts.append(f"{key}={value}")
+    return " ".join(parts)
+
+
+def format_timeline(
+    events: list[TraceEvent],
+    limit: int | None = None,
+    channel: str | None = None,
+) -> list[str]:
+    """Render events as timeline lines, optionally filtered and truncated.
+
+    With ``limit``, the head and tail of the (filtered) trace are kept and
+    an ellipsis line reports how many events were elided.
+    """
+    if channel is not None:
+        events = [e for e in events if e.channel == channel]
+    if limit is None or len(events) <= limit:
+        return [format_event(e) for e in events]
+    head = (limit + 1) // 2
+    tail = limit - head
+    lines = [format_event(e) for e in events[:head]]
+    lines.append(f"... {len(events) - limit} events elided ...")
+    lines.extend(format_event(e) for e in events[len(events) - tail:])
+    return lines

@@ -1,0 +1,95 @@
+"""Doc-consistency checks for the observability layer.
+
+Tier-1-enforced invariants tying together the three places an event type
+exists: the taxonomy registry (``repro.obs.events.EVENT_TYPES``), the
+emitting code (``*.emit("...")`` call sites under ``src/repro``) and the
+taxonomy table in ``docs/observability.md``.  An event type present in
+one but missing from another fails here, so the docs cannot drift from
+the code.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+from repro.obs import CHANNELS, EVENT_TYPES, TRACE_SCHEMA_VERSION, channel_of
+
+REPO = Path(__file__).resolve().parent.parent
+SRC = REPO / "src" / "repro"
+OBS_DOC = REPO / "docs" / "observability.md"
+
+#: an emit call site with a literal event type (possibly line-wrapped)
+_EMIT_RE = re.compile(r'\.emit\(\s*"([a-z_]+\.[a-z_]+)"')
+
+
+def emitted_event_types() -> dict[str, list[Path]]:
+    """Event type -> source files that emit it (literal call sites)."""
+    sites: dict[str, list[Path]] = {}
+    for path in sorted(SRC.rglob("*.py")):
+        for etype in _EMIT_RE.findall(path.read_text(encoding="utf-8")):
+            sites.setdefault(etype, []).append(path)
+    return sites
+
+
+def test_every_emitted_type_is_declared():
+    undeclared = {
+        etype: [str(p.relative_to(REPO)) for p in paths]
+        for etype, paths in emitted_event_types().items()
+        if etype not in EVENT_TYPES
+    }
+    assert not undeclared, (
+        f"event types emitted but missing from EVENT_TYPES: {undeclared}"
+    )
+
+
+def test_every_declared_type_is_emitted_somewhere():
+    emitted = set(emitted_event_types())
+    dead = sorted(set(EVENT_TYPES) - emitted)
+    assert not dead, (
+        f"event types declared in EVENT_TYPES but never emitted: {dead}"
+    )
+
+
+def test_every_event_type_documented_in_taxonomy_table():
+    text = OBS_DOC.read_text(encoding="utf-8")
+    missing = sorted(
+        etype for etype in EVENT_TYPES if f"`{etype}`" not in text
+    )
+    assert not missing, (
+        f"event types missing from docs/observability.md: {missing}"
+    )
+
+
+def test_every_channel_documented():
+    text = OBS_DOC.read_text(encoding="utf-8")
+    missing = sorted(ch for ch in CHANNELS if f"`{ch}`" not in text)
+    assert not missing, f"channels missing from docs/observability.md: {missing}"
+
+
+def test_channels_cover_event_types_exactly():
+    used = {channel_of(etype) for etype in EVENT_TYPES}
+    assert used == set(CHANNELS)
+
+
+def test_schema_version_documented():
+    text = OBS_DOC.read_text(encoding="utf-8")
+    assert f"**Schema version:** {TRACE_SCHEMA_VERSION}" in text, (
+        "docs/observability.md must state the current trace schema version "
+        f"as '**Schema version:** {TRACE_SCHEMA_VERSION}'"
+    )
+
+
+def test_instrumented_modules_cross_reference_the_doc():
+    """The instrumented modules point readers at docs/observability.md."""
+    for module in (
+        SRC / "obs" / "__init__.py",
+        SRC / "grid" / "des.py",
+        SRC / "boinc" / "server.py",
+        SRC / "boinc" / "agent.py",
+        SRC / "boinc" / "simulator.py",
+        SRC / "maxdo" / "docking.py",
+    ):
+        assert "docs/observability.md" in module.read_text(encoding="utf-8"), (
+            f"{module.relative_to(REPO)} lost its observability cross-reference"
+        )

@@ -1,0 +1,360 @@
+"""Tests for repro.obs: tracing, metrics registry, profiling, replay."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.boinc.simulator import Telemetry, scaled_phase1
+from repro.obs import (
+    EVENT_TYPES,
+    TRACE_SCHEMA_VERSION,
+    MetricsRegistry,
+    Profiler,
+    RingSink,
+    TraceEvent,
+    Tracer,
+    channel_of,
+    format_timeline,
+    global_tracer,
+    read_trace,
+    summarize_trace,
+    tracing,
+)
+
+
+class _ExplodingSink:
+    """A sink that must never be touched (disabled-cost contract)."""
+
+    def append(self, event):  # pragma: no cover - the point is not reaching it
+        raise AssertionError("disabled tracer touched its sink")
+
+    def close(self):
+        pass
+
+
+class TestTracer:
+    def test_emit_records_and_counts(self):
+        tracer = Tracer()
+        tracer.emit("server.issue", t_sim=10.0, wu=1, host=2)
+        tracer.emit("server.issue", t_sim=11.0, wu=1, host=3)
+        assert tracer.counts["server.issue"] == 2
+        assert tracer.n_events == 2
+        events = tracer.sink.events
+        assert events[0].etype == "server.issue"
+        assert events[0].channel == "server"
+        assert events[0].t_sim == 10.0
+        assert events[0].fields == {"wu": 1, "host": 2}
+
+    def test_disabled_is_inert(self):
+        """The enable/disable contract: a disabled tracer records nothing
+        and never reaches the sink, the counts or the clock."""
+        tracer = Tracer(sink=_ExplodingSink(), enabled=False)
+        for _ in range(100):
+            tracer.emit("server.issue", t_sim=0.0, wu=1, host=1)
+        assert tracer.n_events == 0
+        assert not tracer.counts
+
+    def test_disabled_constructor(self):
+        assert not Tracer.disabled().enabled
+
+    def test_unknown_event_type_rejected(self):
+        with pytest.raises(ValueError, match="unknown event type"):
+            Tracer().emit("server.nonsense")
+
+    def test_reserved_field_keys_rejected(self):
+        with pytest.raises(ValueError, match="reserved"):
+            Tracer().emit("server.issue", type="oops")
+
+    def test_channel_filter(self):
+        tracer = Tracer(channels=["server"])
+        tracer.emit("server.issue", wu=1)
+        tracer.emit("agent.fetch", host=1)  # filtered out
+        assert tracer.counts == {"server.issue": 1}
+
+    def test_ring_capacity_bounds_memory_not_counts(self):
+        tracer = Tracer(sink=RingSink(capacity=5))
+        for i in range(20):
+            tracer.emit("des.fire", t_sim=float(i), callback="f")
+        assert len(tracer.sink) == 5
+        assert tracer.counts["des.fire"] == 20
+        # the ring keeps the most recent events
+        assert [e.t_sim for e in tracer.sink] == [15.0, 16.0, 17.0, 18.0, 19.0]
+
+    def test_global_tracer_scoping(self):
+        assert global_tracer() is None
+        with tracing(Tracer()) as tr:
+            assert global_tracer() is tr
+            with tracing(Tracer()) as inner:
+                assert global_tracer() is inner
+            assert global_tracer() is tr
+        assert global_tracer() is None
+
+
+class TestJsonlRoundTrip:
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer.to_jsonl(path) as tracer:
+            tracer.emit("server.issue", t_sim=5.0, wu=3, host=7)
+            tracer.emit("agent.fetch", t_sim=6.5, host=7, wu=3)
+            tracer.emit("docking.engine", engine="batched", n_workers=2)
+        events = read_trace(path)
+        assert [e.etype for e in events] == [
+            "server.issue", "agent.fetch", "docking.engine",
+        ]
+        assert events[0].t_sim == 5.0
+        assert events[0].fields == {"wu": 3, "host": 7}
+        assert events[2].t_sim is None  # docking events are wall-clock only
+        assert events[2].fields["engine"] == "batched"
+
+    def test_schema_version_stamped(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with Tracer.to_jsonl(path) as tracer:
+            tracer.emit("server.issue", wu=1, host=1)
+        doc = json.loads(path.read_text().splitlines()[0])
+        assert doc["v"] == TRACE_SCHEMA_VERSION
+        assert doc["type"] == "server.issue"
+        assert doc["ch"] == "server"
+
+    def test_unknown_schema_version_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps({"v": 999, "type": "server.issue"}) + "\n")
+        with pytest.raises(ValueError, match="schema version"):
+            read_trace(path)
+
+
+class TestMetricsRegistry:
+    def test_counter(self):
+        reg = MetricsRegistry()
+        c = reg.counter("x.total")
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    def test_gauge(self):
+        g = MetricsRegistry().gauge("x.depth")
+        g.set(4)
+        g.inc()
+        g.dec(2)
+        assert g.value == 3.0
+
+    def test_histogram_le_semantics(self):
+        h = MetricsRegistry().histogram("x.hours", buckets=(1.0, 4.0, 8.0))
+        for v in (0.5, 1.0, 3.0, 9.0):
+            h.observe(v)
+        # le-1.0 gets 0.5 and 1.0; le-4.0 gets 3.0; +inf gets 9.0
+        assert list(h.bucket_counts) == [2, 1, 0, 1]
+        assert h.count == 4
+        assert h.mean == pytest.approx(13.5 / 4)
+
+    def test_histogram_bad_buckets(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.histogram("a", buckets=())
+        with pytest.raises(ValueError):
+            reg.histogram("b", buckets=(2.0, 1.0))
+
+    def test_daily_series(self):
+        s = MetricsRegistry().daily_series("x.daily", n_days=3, dtype=np.int64)
+        s.add(0)
+        s.add(2, 5)
+        assert s.values.tolist() == [1, 0, 5]
+        with pytest.raises(IndexError):
+            s.add(3)
+
+    def test_get_or_create_and_type_guard(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x.total") is reg.counter("x.total")
+        with pytest.raises(TypeError, match="already registered"):
+            reg.gauge("x.total")
+
+    def test_as_dict_is_json_safe(self):
+        reg = MetricsRegistry()
+        reg.counter("b.count").inc()
+        reg.histogram("a.hist", buckets=(1.0,)).observe(2.0)
+        doc = json.loads(json.dumps(reg.as_dict()))
+        assert list(doc) == ["a.hist", "b.count"]  # sorted names
+        assert doc["b.count"]["kind"] == "counter"
+        assert doc["a.hist"]["bucket_counts"] == [0, 1]
+
+
+class TestProfiler:
+    def test_record_and_timed(self):
+        prof = Profiler()
+        prof.record("a", 0.5)
+        prof.record("a", 1.5)
+        with prof.timed("b"):
+            pass
+        stats = prof.stats()
+        assert stats["a"] == (2, 2.0)
+        assert stats["b"][0] == 1 and stats["b"][1] >= 0.0
+        assert prof.summary_rows()[0][0] == "a"  # heaviest first
+        assert "a" in prof.render()
+
+
+class TestTelemetryOnRegistry:
+    def test_daily_buckets_unchanged(self):
+        t = Telemetry(horizon_s=14 * 86400.0)
+        t.record_result(0.5 * 86400, 100.0)
+        t.record_result(1.5 * 86400, 200.0)
+        assert t.daily_results[0] == 1
+        assert t.daily_cpu_s[1] == 200.0
+
+    def test_registry_holds_every_series(self):
+        t = Telemetry(horizon_s=7 * 86400.0)
+        t.record_result(0.0, 10.0)
+        t.record_validation(0.0)
+        t.record_credit(2.0)
+        t.record_shipment(10.0, 1024)
+        t.record_workunit_run(20.0, 13 * 3600.0, 3.3 * 3600.0)
+        doc = t.registry.as_dict()
+        assert doc["campaign.daily_results"]["values"][0] == 1
+        assert doc["campaign.daily_useful"]["values"][0] == 1
+        assert doc["campaign.claimed_credit_points"]["value"] == 2.0
+        assert doc["campaign.shipped_bytes"]["value"] == 1024
+        assert doc["campaign.run_active_hours"]["count"] == 1
+        assert t.total_claimed_credit == 2.0
+
+    def test_clamp_is_counted_and_traced(self):
+        tracer = Tracer()
+        t = Telemetry(horizon_s=7 * 86400.0, tracer=tracer)
+        t.record_result(1e9, 1.0)  # far beyond the horizon
+        assert t.daily_results[-1] == 1  # still lands in the edge bucket
+        assert t.clamped_samples == 1
+        assert tracer.counts["telemetry.clamp"] == 1
+        event = tracer.sink.events[0]
+        assert event.t_sim == 1e9
+        assert event.fields["day"] > event.fields["horizon_days"]
+
+    def test_in_horizon_samples_not_clamped(self):
+        t = Telemetry(horizon_s=7 * 86400.0)
+        t.record_result(3 * 86400.0, 1.0)
+        assert t.clamped_samples == 0
+
+
+class TestCampaignTraceReconciliation:
+    """A traced scaled campaign's event counts match CampaignResult."""
+
+    @pytest.fixture(scope="class")
+    def traced(self):
+        tracer = Tracer(sink=RingSink(capacity=1024))
+        result = scaled_phase1(scale=700, n_proteins=6, tracer=tracer).run()
+        return tracer, result
+
+    def test_result_events_match_disclosed(self, traced):
+        tracer, result = traced
+        m = result.metrics()
+        assert tracer.counts["server.result"] == m.results_disclosed
+        assert tracer.counts["agent.report"] == m.results_disclosed
+
+    def test_validation_events_match_effective(self, traced):
+        tracer, result = traced
+        assert tracer.counts["server.validate"] == result.metrics().results_effective
+        assert tracer.counts["server.release"] == result.server.n_workunits
+        assert tracer.counts["server.campaign_complete"] == 1
+
+    def test_batch_events_match_shipments(self, traced):
+        tracer, result = traced
+        assert (
+            tracer.counts["server.batch_complete"]
+            == len(result.telemetry.shipments)
+        )
+
+    def test_des_fire_matches_kernel_counter(self, traced):
+        tracer, result = traced
+        assert tracer.counts["des.fire"] == result.server.sim.events_processed
+
+    def test_issue_covers_fetch_and_reissues(self, traced):
+        tracer, result = traced
+        assert tracer.counts["server.issue"] == tracer.counts["agent.fetch"]
+
+    def test_tracing_does_not_perturb_the_trajectory(self, traced):
+        _, result = traced
+        baseline = scaled_phase1(scale=700, n_proteins=6).run()
+        assert result.completion_time == baseline.completion_time
+        assert (
+            result.server.stats.disclosed == baseline.server.stats.disclosed
+        )
+        np.testing.assert_array_equal(
+            result.telemetry.daily_results, baseline.telemetry.daily_results
+        )
+
+    def test_export_carries_the_registry(self, traced, tmp_path):
+        _, result = traced
+        result.export(tmp_path)
+        doc = json.loads((tmp_path / "metrics.json").read_text())
+        registry = doc["registry"]
+        assert (
+            sum(registry["campaign.daily_results"]["values"])
+            == result.metrics().results_disclosed
+        )
+        assert registry["telemetry.clamped_samples"]["value"] == float(
+            result.telemetry.clamped_samples
+        )
+
+
+class TestReplay:
+    def _events(self):
+        tracer = Tracer()
+        tracer.emit("server.issue", t_sim=0.0, wu=1, host=2)
+        tracer.emit("server.issue", t_sim=86400.0, wu=2, host=3)
+        tracer.emit("agent.fetch", t_sim=86400.0, host=3, wu=2)
+        tracer.emit("docking.engine", engine="batched", n_workers=1)
+        return tracer.sink.events
+
+    def test_summarize(self):
+        summary = summarize_trace(self._events())
+        assert summary.n_events == 4
+        assert summary.by_type["server.issue"] == 2
+        assert summary.by_channel == {"server": 2, "agent": 1, "docking": 1}
+        assert summary.sim_span_days == pytest.approx(1.0)
+        assert summary.rows()[0][0] == "agent.fetch"  # channel-sorted
+
+    def test_timeline_filter_and_limit(self):
+        events = self._events()
+        lines = format_timeline(events, channel="server")
+        assert len(lines) == 2 and all("server.issue" in l for l in lines)
+        lines = format_timeline(events, limit=2)
+        assert len(lines) == 3  # head + ellipsis + tail
+        assert "elided" in lines[1]
+
+    def test_channel_of(self):
+        assert channel_of("server.issue") == "server"
+
+    def test_every_event_type_has_a_channelful_name(self):
+        for etype in EVENT_TYPES:
+            assert "." in etype and channel_of(etype)
+
+
+class TestTraceCli:
+    def test_trace_subcommand(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "t.jsonl"
+        with Tracer.to_jsonl(path) as tracer:
+            tracer.emit("server.issue", t_sim=0.0, wu=1, host=2)
+            tracer.emit("server.validate", t_sim=3600.0, wu=1, regime="quorum")
+        assert main(["trace", str(path), "--limit", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "server.issue" in out
+        assert "server.validate" in out
+        assert "regime=quorum" in out
+
+    def test_simulate_trace_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = tmp_path / "campaign.jsonl"
+        code = main([
+            "simulate", "--scale", "700", "--proteins", "6",
+            "--trace", str(path), "--trace-channels", "server,telemetry",
+        ])
+        assert code == 0
+        events = read_trace(path)
+        assert events and all(
+            e.channel in ("server", "telemetry") for e in events
+        )
+        assert "repro-hcmd trace" in capsys.readouterr().out
