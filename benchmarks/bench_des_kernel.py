@@ -1,55 +1,240 @@
 """Infrastructure benchmark — discrete-event kernel throughput.
 
 The volunteer campaign schedules hundreds of thousands of events; this
-bench pins the kernel's event throughput and the cancellation overhead so
-regressions in the simulation substrate are caught early.
+bench pins the kernel's event throughput across the four scheduling
+patterns the campaign exercises (self-scheduling chains, bulk loads,
+cancellation churn, deadline timers) and measures the fast kernel
+(``repro.grid.des``) against the frozen reference implementation
+(``repro.grid._reference_des``) so regressions in the simulation
+substrate are caught early.
+
+Records machine-readable results under ``benchmarks/artifacts/`` and as
+``BENCH_des.json`` at the repo root: per-pattern events/second for both
+kernels, the speedup ratios and their geometric mean, plus a scaled
+campaign wall-time figure.
+
+Smoke mode: set ``REPRO_BENCH_SMOKE=1`` to shrink every workload ~20x —
+the whole file then runs in a few seconds and still fails on a gross
+(>50%) throughput regression against the reference kernel.
 """
 
 from __future__ import annotations
 
-import pytest
+import math
+import os
+from collections import deque
+from time import perf_counter
 
+from repro.boinc.simulator import scaled_phase1
+from repro.grid import _reference_des
 from repro.grid.des import Simulator
 
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: workload sizes (events); smoke mode shrinks them ~20x
+N_SELF_SCHED = 2_500 if SMOKE else 50_000
+N_BULK = 1_000 if SMOKE else 20_000
+N_CANCEL = 1_000 if SMOKE else 20_000
+N_TIMER = 2_000 if SMOKE else 40_000
+TIMING_REPEATS = 1 if SMOKE else 5
+
+#: sanity floor on the geometric-mean speedup vs the reference kernel.
+#: The full bench demands a real win; smoke mode only guards against a
+#: >50% regression (ratio < 0.5 means the fast path got slower than the
+#: kernel it replaced).
+MIN_GEOMEAN_SPEEDUP = 0.5 if SMOKE else 1.5
+
+CAMPAIGN_SCALE = 700 if SMOKE else 50
+CAMPAIGN_PROTEINS = 6 if SMOKE else 24
+
+
+# -- scheduling-pattern workloads (run identically on either kernel) ------
+
+def _self_scheduling(sim_cls, n):
+    """One live event chain: each callback schedules its successor."""
+    sim = sim_cls()
+    count = 0
+
+    def tick():
+        nonlocal count
+        count += 1
+        if count < n:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return count
+
+
+def _bulk_schedule(sim_cls, n):
+    """Deep queue: n events scheduled up front, then drained."""
+    sim = sim_cls()
+    sink = []
+    for k in range(n):
+        sim.schedule(float(k % 97), sink.append, k)
+    sim.run()
+    return len(sink)
+
+
+def _cancellation(sim_cls, n):
+    """Tombstone churn: n scheduled, every other one cancelled."""
+    sim = sim_cls()
+    events = [sim.schedule(1.0, lambda: None) for _ in range(n)]
+    for ev in events[::2]:
+        ev.cancel()
+    sim.run()
+    assert sim.events_processed == n // 2
+    return n
+
+
+def _deadline_timers(sim_cls, n):
+    """The server's deadline pattern: long fixed-delay timers, almost
+    always cancelled well before they fire."""
+    sim = sim_cls()
+    pending = deque()
+    count = 0
+
+    def noop():
+        pass
+
+    def tick():
+        nonlocal count
+        count += 1
+        pending.append(sim.schedule_timer(1000.0, noop))
+        if len(pending) >= 8:
+            pending.popleft().cancel()
+        if count < n:
+            sim.schedule(1.0, tick)
+
+    sim.schedule(0.0, tick)
+    sim.run()
+    return count
+
+
+PATTERNS = [
+    ("self_scheduling", _self_scheduling, N_SELF_SCHED),
+    ("bulk_schedule", _bulk_schedule, N_BULK),
+    ("cancellation", _cancellation, N_CANCEL),
+    ("deadline_timers", _deadline_timers, N_TIMER),
+]
+
+
+def _measure_pair(workload, n):
+    """Best-of-N events/second for the fast and reference kernels.
+
+    The two kernels are timed interleaved (fast, reference, fast, ...)
+    so background load hits both measurements instead of biasing one.
+    """
+    best = {Simulator: 0.0, _reference_des.Simulator: 0.0}
+    ops = {}
+    for _ in range(TIMING_REPEATS):
+        for sim_cls in (Simulator, _reference_des.Simulator):
+            t0 = perf_counter()
+            fired = workload(sim_cls, n)
+            elapsed = perf_counter() - t0
+            assert ops.setdefault(sim_cls, fired) == fired
+            best[sim_cls] = max(best[sim_cls], fired / elapsed)
+    assert ops[Simulator] == ops[_reference_des.Simulator], (
+        "kernels disagree on event count"
+    )
+    return best[Simulator], best[_reference_des.Simulator]
+
+
+# -- per-pattern pytest-benchmark timings (fast kernel) -------------------
 
 def test_event_throughput(benchmark):
-    def run_events():
-        sim = Simulator()
-        count = 0
-
-        def tick():
-            nonlocal count
-            count += 1
-            if count < 50_000:
-                sim.schedule(1.0, tick)
-
-        sim.schedule(0.0, tick)
-        sim.run()
-        return count
-
-    count = benchmark(run_events)
-    assert count == 50_000
+    assert benchmark(_self_scheduling, Simulator, N_SELF_SCHED) == N_SELF_SCHED
 
 
 def test_bulk_schedule_then_run(benchmark):
-    def run():
-        sim = Simulator()
-        sink = []
-        for k in range(20_000):
-            sim.schedule(float(k % 97), sink.append, k)
-        sim.run()
-        return len(sink)
-
-    assert benchmark(run) == 20_000
+    assert benchmark(_bulk_schedule, Simulator, N_BULK) == N_BULK
 
 
 def test_cancellation_overhead(benchmark):
-    def run():
-        sim = Simulator()
-        events = [sim.schedule(1.0, lambda: None) for _ in range(20_000)]
-        for ev in events[::2]:
-            ev.cancel()
-        sim.run()
-        return sim.events_processed
+    assert benchmark(_cancellation, Simulator, N_CANCEL) == N_CANCEL
 
-    assert benchmark(run) == 10_000
+
+def test_deadline_timer_throughput(benchmark):
+    assert benchmark(_deadline_timers, Simulator, N_TIMER) == N_TIMER
+
+
+# -- fast kernel vs reference kernel + campaign figure --------------------
+
+def test_bench_des_speedup(record_artifact, record_bench_json):
+    patterns = {}
+    ratios = []
+    total_events = 0
+    total_fast_s = 0.0
+    total_ref_s = 0.0
+    for name, workload, n in PATTERNS:
+        fast_eps, ref_eps = _measure_pair(workload, n)
+        ratio = fast_eps / ref_eps
+        ratios.append(ratio)
+        total_events += n
+        total_fast_s += n / fast_eps
+        total_ref_s += n / ref_eps
+        patterns[name] = {
+            "n_events": n,
+            "fast_events_per_s": fast_eps,
+            "reference_events_per_s": ref_eps,
+            "speedup": ratio,
+        }
+    geomean = math.exp(sum(map(math.log, ratios)) / len(ratios))
+    # The headline: total events over total wall time for the whole
+    # pattern suite — each pattern contributes by how long it actually
+    # takes, which is how the campaign experiences the kernel.
+    aggregate = total_ref_s / total_fast_s
+
+    t0 = perf_counter()
+    result = scaled_phase1(scale=CAMPAIGN_SCALE, n_proteins=CAMPAIGN_PROTEINS).run()
+    campaign_wall_s = perf_counter() - t0
+    campaign_events = result.server.sim.events_processed
+
+    lines = [
+        f"{'pattern':<18}{'fast ev/s':>12}{'reference ev/s':>16}{'speedup':>9}"
+    ]
+    for name, row in patterns.items():
+        lines.append(
+            f"{name:<18}{row['fast_events_per_s']:>12,.0f}"
+            f"{row['reference_events_per_s']:>16,.0f}"
+            f"{row['speedup']:>8.2f}x"
+        )
+    lines.append(
+        f"aggregate event throughput: {total_events / total_fast_s:,.0f} ev/s "
+        f"fast vs {total_events / total_ref_s:,.0f} ev/s reference "
+        f"-> {aggregate:.2f}x"
+    )
+    lines.append(f"geometric-mean speedup: {geomean:.2f}x "
+                 f"(floor {MIN_GEOMEAN_SPEEDUP:.1f}x, smoke={SMOKE})")
+    lines.append(
+        f"scaled campaign (scale={CAMPAIGN_SCALE}, "
+        f"n_proteins={CAMPAIGN_PROTEINS}): {campaign_wall_s:.2f} s wall, "
+        f"{campaign_events:,} events "
+        f"({campaign_events / campaign_wall_s:,.0f} ev/s end-to-end)"
+    )
+    record_artifact("bench_des_kernel", "\n".join(lines))
+    record_bench_json(
+        "des",
+        {
+            "smoke": SMOKE,
+            "patterns": patterns,
+            "aggregate_speedup": aggregate,
+            "aggregate_fast_events_per_s": total_events / total_fast_s,
+            "aggregate_reference_events_per_s": total_events / total_ref_s,
+            "geomean_speedup": geomean,
+            "min_geomean_speedup": MIN_GEOMEAN_SPEEDUP,
+            "campaign": {
+                "scale": CAMPAIGN_SCALE,
+                "n_proteins": CAMPAIGN_PROTEINS,
+                "wall_seconds": campaign_wall_s,
+                "events_processed": campaign_events,
+                "events_per_second": campaign_events / campaign_wall_s,
+            },
+        },
+        experiment="DES kernel fast path vs reference",
+    )
+
+    assert geomean >= MIN_GEOMEAN_SPEEDUP, (
+        f"DES fast path only {geomean:.2f}x the reference kernel "
+        f"(floor {MIN_GEOMEAN_SPEEDUP}x)"
+    )

@@ -19,6 +19,15 @@ from repro.maxdo.cost_model import CostModel
 from repro.proteins.library import ProteinLibrary
 
 ARTIFACT_DIR = Path(__file__).parent / "artifacts"
+_BENCH_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ with ``bench`` so suites can
+    select or skip the benchmark tier (``-m bench`` / ``-m 'not bench'``)."""
+    for item in items:
+        if Path(str(item.fspath)).parent == _BENCH_DIR:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture(scope="session")

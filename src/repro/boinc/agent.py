@@ -25,6 +25,7 @@ Observability: pass ``tracer=`` to record the agent-channel events
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -100,14 +101,21 @@ class VolunteerAgent:
 
     def _when_available(self, action) -> None:
         """Run ``action`` now if the host is available, else at the next
-        availability start (agents only act while the device computes)."""
+        availability start (agents only act while the device computes).
+
+        The continuation is this bound method itself with ``action`` as
+        the scheduled argument — not a closure — so each hop is
+        allocation-free and ``des.fire`` / the profiler attribute the
+        wait to ``VolunteerAgent._when_available`` instead of a
+        ``<lambda>``.
+        """
         t = self.sim.now
         if self.spec.trace.is_available(t):
             action()
             return
         nxt = self.spec.trace.next_transition(t)
         if nxt is not None:
-            self.sim.schedule_at(nxt, lambda: self._when_available(action))
+            self.sim.schedule_at(nxt, self._when_available, action)
         # else: the host never computes again; it falls silent.
 
     # -- work fetching -----------------------------------------------------
@@ -123,7 +131,7 @@ class VolunteerAgent:
                     "agent.idle", t_sim=self.sim.now,
                     host=self.spec.host_id, poll_s=max(poll, 600.0),
                 )
-            self.sim.schedule(max(poll, 600.0), lambda: self._when_available(self._fetch_work))
+            self.sim.schedule(max(poll, 600.0), self._when_available, self._fetch_work)
             return
         self.instance = instance
         wu = instance.wu
@@ -148,7 +156,7 @@ class VolunteerAgent:
                 )
             self.sim.schedule(
                 self.server.config.deadline_s * 1.5,
-                lambda: self._when_available(self._fetch_work),
+                self._when_available, self._fetch_work,
             )
             return
         self._compute_step()
@@ -164,7 +172,9 @@ class VolunteerAgent:
             return
         interval_end = trace.next_transition(t)
         rate = self.spec.progress_rate
-        needed_s = (self._cost - self._done) / rate
+        # Float accumulation in _interrupt can push _done a few ulp past
+        # _cost; a negative residual would make sim.schedule raise.
+        needed_s = max(0.0, (self._cost - self._done) / rate)
         if interval_end is None or t + needed_s <= interval_end:
             self.sim.schedule(needed_s, self._complete)
             return
@@ -175,8 +185,10 @@ class VolunteerAgent:
         """Availability ended mid-workunit: suspend or kill."""
         self._active_s += active_span
         self._done += active_span * self.spec.progress_rate
-        # Checkpoints commit at starting-position boundaries.
-        self._checkpointed = np.floor(self._done / self._chunk) * self._chunk
+        # Checkpoints commit at starting-position boundaries.  (math.floor
+        # == np.floor bit-for-bit on float64; the scalar form skips a
+        # ufunc dispatch in this per-interruption path.)
+        self._checkpointed = math.floor(self._done / self._chunk) * self._chunk
         killed = bool(self.rng.random() < KILL_PROBABILITY)
         lost_s = self._done - self._checkpointed
         if killed:

@@ -121,6 +121,26 @@ class TestInterruption:
         assert server.stats.disclosed == 0
 
 
+class TestProgressResidualClamp:
+    def test_done_overshooting_cost_does_not_crash(self):
+        # Float accumulation across many interrupts can leave _done a few
+        # ulp past _cost; the residual compute time must clamp to zero
+        # instead of asking the kernel for a negative delay.
+        import math
+
+        sim, server, agent, _ = _setup(n_wu=1, cost=1000.0)
+        instance = server.request_work(0)
+        agent.instance = instance
+        agent._cost = instance.wu.cost_reference_s
+        agent._chunk = agent._cost / instance.wu.nsep
+        agent._done = math.nextafter(agent._cost, math.inf)
+        agent._active_s = agent._done / agent.spec.progress_rate
+        agent._compute_step()  # pre-fix: ValueError from sim.schedule(-eps)
+        sim.run(until=HORIZON)
+        assert agent.results_returned == 1
+        assert server.stats.effective == 1
+
+
 class TestUnreliability:
     def test_invalid_results_reissued_until_valid(self):
         sim, server, agent, _ = _setup(n_wu=1, spec=_spec(reliability=0.5))

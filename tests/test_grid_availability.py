@@ -122,3 +122,69 @@ class TestGeneration:
             assert (t.ends > t.starts).all()
             assert (t.starts[1:] >= t.ends[:-1]).all()
             assert t.ends[-1] <= t.horizon
+
+
+def _scalar_reference_trace(
+    rng, horizon, join_time=0.0, leave_time=None,
+    mean_on_hours=6.0, mean_off_hours=6.0, diurnal=True,
+):
+    """The original one-draw-per-session generate_trace, kept verbatim as
+    the bit-exactness oracle for the block-sampling rewrite."""
+    from repro.units import SECONDS_PER_HOUR
+
+    end = min(horizon, leave_time if leave_time is not None else horizon)
+    if end <= join_time:
+        return AvailabilityTrace(np.empty(0), np.empty(0), horizon)
+    phase = float(rng.random())
+    starts, ends = [], []
+    t = join_time + float(rng.exponential(mean_off_hours * SECONDS_PER_HOUR / 2))
+    while t < end:
+        on = float(rng.exponential(mean_on_hours * SECONDS_PER_HOUR))
+        session_end = min(t + max(on, 60.0), end)
+        starts.append(t)
+        ends.append(session_end)
+        gap = float(rng.exponential(mean_off_hours * SECONDS_PER_HOUR))
+        if diurnal:
+            day_fraction = ((session_end / SECONDS_PER_DAY) + phase) % 1.0
+            gap /= 1.0 + 0.5 * np.sin(2.0 * np.pi * (day_fraction - 0.25))
+        t = session_end + max(gap, 60.0)
+    return AvailabilityTrace(np.asarray(starts), np.asarray(ends), horizon)
+
+
+class TestBlockSamplingBitExact:
+    """The vectorized generate_trace consumes the same RNG bit stream and
+    produces bit-identical traces to the scalar reference loop."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_default_parameters(self, seed):
+        got = _trace(seed=seed)
+        ref = _scalar_reference_trace(np.random.default_rng(seed), HORIZON)
+        np.testing.assert_array_equal(got.starts, ref.starts)
+        np.testing.assert_array_equal(got.ends, ref.ends)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=1000),
+        st.floats(min_value=0.01, max_value=48.0),
+        st.floats(min_value=0.01, max_value=48.0),
+        st.booleans(),
+    )
+    def test_parameter_sweep(self, seed, on_h, off_h, diurnal):
+        kw = dict(mean_on_hours=on_h, mean_off_hours=off_h, diurnal=diurnal)
+        got = _trace(seed=seed, **kw)
+        ref = _scalar_reference_trace(np.random.default_rng(seed), HORIZON, **kw)
+        np.testing.assert_array_equal(got.starts, ref.starts)
+        np.testing.assert_array_equal(got.ends, ref.ends)
+
+    def test_join_and_leave_windows(self):
+        for seed in range(5):
+            kw = dict(
+                join_time=7 * SECONDS_PER_DAY, leave_time=33 * SECONDS_PER_DAY
+            )
+            got = _trace(seed=seed, **kw)
+            ref = _scalar_reference_trace(
+                np.random.default_rng(seed), HORIZON, **kw
+            )
+            np.testing.assert_array_equal(got.starts, ref.starts)
+            np.testing.assert_array_equal(got.ends, ref.ends)

@@ -297,6 +297,38 @@ class TestCampaignTraceReconciliation:
         )
 
 
+class TestDesCallbackNames:
+    """des.* events and profiler sections name the real call sites —
+    the agent's continuation chain is bound methods, not lambdas."""
+
+    @pytest.fixture(scope="class")
+    def instrumented(self):
+        tracer = Tracer(channels=["des"])
+        profiler = Profiler()
+        scaled_phase1(
+            scale=700, n_proteins=6, tracer=tracer, profiler=profiler
+        ).run()
+        return tracer, profiler
+
+    def test_no_lambda_callbacks_in_trace(self, instrumented):
+        tracer, _ = instrumented
+        names = {e.fields["callback"] for e in tracer.sink.events}
+        assert names  # the campaign did trace des events
+        assert not [n for n in names if "<lambda>" in n]
+
+    def test_availability_waits_attributed_to_when_available(self, instrumented):
+        tracer, _ = instrumented
+        names = {e.fields["callback"] for e in tracer.sink.events}
+        assert "VolunteerAgent._when_available" in names
+        assert "GridServer._on_timeout" in names
+
+    def test_profiler_sections_are_named(self, instrumented):
+        _, profiler = instrumented
+        sections = [name for name in profiler.stats() if name.startswith("des.")]
+        assert "des.VolunteerAgent._when_available" in sections
+        assert not [s for s in sections if "<lambda>" in s]
+
+
 class TestReplay:
     def _events(self):
         tracer = Tracer()
