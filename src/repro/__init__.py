@@ -25,14 +25,30 @@ substrates:
   the metrics registry behind the telemetry, and profiling hooks
   (docs/observability.md).
 
-Quickstart::
+The top level is a façade: the handful of names most sessions need —
+:func:`scaled_phase1`, :class:`CampaignConfig`, :class:`FaultPlan`,
+:class:`MaxDoRun` / :func:`dock_couple`, :class:`Tracer` /
+:class:`Profiler` — import directly from :mod:`repro`; everything else
+stays addressable through its subpackage.
 
-    from repro import ProteinLibrary, CostModel, PackagingPolicy, WorkUnitPlan
+Quickstart — run a scaled phase-I campaign::
+
+    from repro import CampaignConfig, FaultPlan, scaled_phase1
+
+    result = scaled_phase1(scale=300, n_proteins=10).run()
+    print(result.metrics().redundancy)        # ~1.3, the paper's 1.37
+
+    # same campaign under injected faults (see repro.faults)
+    cfg = CampaignConfig(faults=FaultPlan.from_spec("corrupt=0.1,loss=0.05"))
+    degraded = scaled_phase1(scale=300, n_proteins=10, config=cfg).run()
+    print(degraded.fault_report().as_dict())
+
+or dock one protein couple with the MAXDo model::
+
+    from repro import ProteinLibrary, dock_couple
 
     library = ProteinLibrary.phase1()
-    cost_model = CostModel.calibrated(library)
-    plan = WorkUnitPlan(cost_model, PackagingPolicy(target_hours=10.0))
-    print(plan.total_workunits())  # ~1.36M, the paper's Figure 4a
+    table = dock_couple(library[3], library[7], seed=1)
 """
 
 from . import constants, units
@@ -42,11 +58,14 @@ from .core.metrics import CampaignMetrics, virtual_full_time_processors
 from .core.packaging import PackagingPolicy, WorkUnitPlan
 from .core.projection import project_phase2
 from .core.workunit import WorkUnit
+from .faults import FaultPlan
 from .fluid import FluidCampaign
 from .grid.population import WCGPopulationModel, hcmd_share_schedule
 from .maxdo.cost_model import CostModel
+from .maxdo.docking import MaxDoRun, dock_couple
 from .obs import MetricsRegistry, Profiler, Tracer
 from .proteins.library import ProteinLibrary
+from .boinc import CampaignConfig, scaled_phase1
 
 __version__ = "1.0.0"
 
@@ -62,13 +81,18 @@ __all__ = [
     "WorkUnitPlan",
     "project_phase2",
     "WorkUnit",
+    "FaultPlan",
     "FluidCampaign",
     "WCGPopulationModel",
     "hcmd_share_schedule",
     "CostModel",
+    "MaxDoRun",
+    "dock_couple",
     "MetricsRegistry",
     "Profiler",
     "Tracer",
     "ProteinLibrary",
+    "CampaignConfig",
+    "scaled_phase1",
     "__version__",
 ]

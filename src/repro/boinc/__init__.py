@@ -16,6 +16,7 @@ that scale is out of reach, so this subpackage simulates the grid's
   :class:`repro.core.metrics.CampaignMetrics`.
 """
 
+from .config import CampaignConfig
 from .credit import AccountingMode, CobblestoneScale, HostBenchmark, vftp_from_credit
 from .server import GridServer, ServerConfig
 from .simulator import CampaignResult, VolunteerGridSimulation, scaled_phase1
@@ -23,6 +24,7 @@ from .validator import ValidationPolicy
 
 __all__ = [
     "AccountingMode",
+    "CampaignConfig",
     "CobblestoneScale",
     "HostBenchmark",
     "vftp_from_credit",

@@ -18,9 +18,22 @@ Behaviour modeled per the paper:
   the server's deadline reclaims it;
 * an idle agent with no work available polls again a few hours later.
 
+Fault tolerance (active only when the host spec carries a
+:class:`repro.faults.HostFaultState`): injected crashes roll progress
+back to the last checkpoint and reboot after a delay; corrupted or
+sabotaged results are labelled with their ground-truth
+:class:`~repro.faults.ResultQuality`; refused RPCs (server outages) and
+lost report uploads are retried with exponential backoff and jitter.
+Every retry hop is a named bound method (``_report`` reschedules itself,
+fetches go back through ``_when_available``), so traces and profiles stay
+attributable.  All fault randomness draws from the host's dedicated fault
+stream, never from ``self.rng`` — a fault-free campaign is bit-identical
+with or without the machinery.
+
 Observability: pass ``tracer=`` to record the agent-channel events
 (``agent.fetch`` / ``idle`` / ``abandon`` / ``checkpoint`` / ``complete``
-/ ``report``) — see docs/observability.md.
+/ ``report`` / ``retry``) plus the injected ``fault.*`` events — see
+docs/observability.md.
 """
 
 from __future__ import annotations
@@ -30,6 +43,7 @@ from typing import TYPE_CHECKING
 
 import numpy as np
 
+from ..faults import ResultQuality, ServerUnavailable
 from ..grid.des import Simulator
 from ..grid.host import HostSpec
 from ..units import SECONDS_PER_HOUR
@@ -45,7 +59,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .server import GridServer, Instance
     from .simulator import Telemetry
 
-__all__ = ["VolunteerAgent", "KILL_PROBABILITY", "WORK_POLL_HOURS"]
+__all__ = [
+    "VolunteerAgent",
+    "KILL_PROBABILITY",
+    "WORK_POLL_HOURS",
+    "RETRY_BASE_S",
+    "RETRY_MAX_EXPONENT",
+]
 
 #: Probability that an availability interruption kills the process (losing
 #: progress back to the last starting-position checkpoint) instead of
@@ -58,6 +78,14 @@ WORK_POLL_HOURS = 8.0
 #: Lognormal sigma of the per-host benchmark measurement bias (how far the
 #: agent's Whetstone-style benchmark drifts from application throughput).
 BENCHMARK_BIAS_SIGMA = 0.05
+
+#: First retry backoff after a refused/lost RPC (seconds); successive
+#: attempts double it, with uniform jitter in [0.5x, 1.5x).
+RETRY_BASE_S = 600.0
+
+#: Backoff doubling stops at this exponent (2**8 * 600 s ~ 1.8 days), so
+#: retries keep probing a long outage instead of receding forever.
+RETRY_MAX_EXPONENT = 8
 
 
 class VolunteerAgent:
@@ -91,6 +119,7 @@ class VolunteerAgent:
         self._done = 0.0  #: committed + in-memory progress
         self._checkpointed = 0.0  #: progress safe on disk
         self._active_s = 0.0  #: accounted active wall-clock so far
+        self._fetch_attempt = 0  #: consecutive refused work requests
         self.results_returned = 0
 
     # -- lifecycle ---------------------------------------------------------
@@ -123,7 +152,16 @@ class VolunteerAgent:
     def _fetch_work(self) -> None:
         if self.server.all_done:
             return
-        instance = self.server.request_work(self.spec.host_id)
+        try:
+            instance = self.server.request_work(self.spec.host_id)
+        except ServerUnavailable:
+            attempt = self._fetch_attempt
+            self._fetch_attempt += 1
+            self._backoff_retry(
+                "refused", attempt, self._when_available, self._fetch_work
+            )
+            return
+        self._fetch_attempt = 0
         if instance is None:
             poll = float(self.rng.exponential(WORK_POLL_HOURS * SECONDS_PER_HOUR))
             if self.tracer is not None:
@@ -176,10 +214,53 @@ class VolunteerAgent:
         # _cost; a negative residual would make sim.schedule raise.
         needed_s = max(0.0, (self._cost - self._done) / rate)
         if interval_end is None or t + needed_s <= interval_end:
+            if self._maybe_crash(needed_s):
+                return
             self.sim.schedule(needed_s, self._complete)
             return
         span = interval_end - t
+        if self._maybe_crash(span):
+            return
         self.sim.schedule_at(interval_end, self._interrupt, span)
+
+    def _maybe_crash(self, span: float) -> bool:
+        """Inject a crash inside the next ``span`` active seconds, maybe.
+
+        Draws the time-to-crash from the host's dedicated fault stream
+        (exponential around the crash MTBF; the hazard accrues only over
+        active compute time, which is exactly what ``span`` covers).
+        Returns True when a crash was scheduled instead of the normal
+        continuation.  No-op — and no draw — on fault-free hosts.
+        """
+        f = self.spec.faults
+        if f is None or f.crash_mtbf_s is None or span <= 0.0:
+            return False
+        crash_in = float(f.rng.exponential(f.crash_mtbf_s))
+        if crash_in >= span:
+            return False
+        self.sim.schedule(crash_in, self._fault_crash, crash_in)
+        return True
+
+    def _fault_crash(self, active_span: float) -> None:
+        """An injected crash: lose in-memory progress, reboot, resume."""
+        self._active_s += active_span
+        self._done += active_span * self.spec.progress_rate
+        self._checkpointed = math.floor(self._done / self._chunk) * self._chunk
+        lost_s = self._done - self._checkpointed
+        self._done = self._checkpointed
+        f = self.spec.faults
+        self.telemetry.record_fault("crashes")
+        if self.tracer is not None:
+            instance = self.instance
+            self.tracer.emit(
+                "fault.crash", t_sim=self.sim.now,
+                host=self.spec.host_id,
+                wu=instance.wu.wu_id if instance is not None else None,
+                lost_reference_s=lost_s,
+                done_fraction=self._done / self._cost if self._cost else 1.0,
+            )
+        reboot = float(f.rng.exponential(f.reboot_delay_s)) if f.reboot_delay_s > 0 else 0.0
+        self.sim.schedule(reboot, self._when_available, self._compute_step)
 
     def _interrupt(self, active_span: float) -> None:
         """Availability ended mid-workunit: suspend or kill."""
@@ -226,19 +307,98 @@ class VolunteerAgent:
                 host=self.spec.host_id, wu=instance.wu.wu_id,
                 active_s=active_s, report_delay_s=delay,
             )
-        self.sim.schedule(delay, self._report, instance, valid, active_s)
+        quality = ResultQuality.OK if valid else ResultQuality.ERRONEOUS
+        f = self.spec.faults
+        if f is not None and valid:
+            if f.saboteur:
+                # Plausible-but-wrong values: passes the range check; only
+                # a disagreeing quorum partner can expose it.
+                quality = ResultQuality.SABOTAGED
+                self.telemetry.record_fault("sabotaged")
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "fault.sabotage", t_sim=self.sim.now,
+                        host=self.spec.host_id, wu=instance.wu.wu_id,
+                    )
+            elif f.corrupt_prob > 0.0 and f.rng.random() < f.corrupt_prob:
+                # Detectably-garbage result (wrong magnitudes, truncated
+                # file): the value-range check always rejects it.
+                quality = ResultQuality.ERRONEOUS
+                self.telemetry.record_fault("corrupted")
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "fault.corrupt", t_sim=self.sim.now,
+                        host=self.spec.host_id, wu=instance.wu.wu_id,
+                    )
+        self.sim.schedule(delay, self._report, instance, quality, active_s)
 
-    def _report(self, instance: "Instance", valid: bool, active_s: float) -> None:
+    def _report(
+        self,
+        instance: "Instance",
+        quality: ResultQuality,
+        active_s: float,
+        attempt: int = 0,
+    ) -> None:
+        f = self.spec.faults
+        if (
+            f is not None
+            and f.report_loss_prob > 0.0
+            and float(f.rng.random()) < f.report_loss_prob
+        ):
+            self.telemetry.record_fault("report_lost")
+            if self.tracer is not None:
+                self.tracer.emit(
+                    "fault.report_lost", t_sim=self.sim.now,
+                    host=self.spec.host_id, wu=instance.wu.wu_id,
+                    attempt=attempt,
+                )
+            self._backoff_retry(
+                "report-lost", attempt,
+                self._report, instance, quality, active_s, attempt + 1,
+            )
+            return
         accounted = accounted_seconds(self.spec, active_s, self.accounting)
         credit = claimed_credit(self.spec, active_s, self.accounting, self.benchmark)
+        valid = quality is not ResultQuality.ERRONEOUS
         if self.tracer is not None:
             self.tracer.emit(
                 "agent.report", t_sim=self.sim.now,
                 host=self.spec.host_id, wu=instance.wu.wu_id,
                 valid=valid, accounted_cpu_s=accounted,
             )
-        self.server.on_result(instance, valid, accounted)
+        try:
+            self.server.on_result(instance, valid, accounted, quality=quality)
+        except ServerUnavailable:
+            self._backoff_retry(
+                "refused", attempt,
+                self._report, instance, quality, active_s, attempt + 1,
+            )
+            return
         self.telemetry.record_result(self.sim.now, accounted)
         self.telemetry.record_credit(credit)
         self.results_returned += 1
         self._when_available(self._fetch_work)
+
+    # -- fault recovery ----------------------------------------------------
+
+    def _backoff_retry(self, reason: str, attempt: int, callback, *args) -> None:
+        """Schedule ``callback(*args)`` after an exponential jittered backoff.
+
+        ``RETRY_BASE_S * 2**attempt`` (exponent capped) scaled by a
+        uniform jitter in [0.5, 1.5) drawn from the host's fault stream —
+        synchronized retry storms after an outage ends would otherwise
+        hammer the server in lockstep.  The continuation is a named bound
+        method, so traces and profiles attribute the hop.
+        """
+        base = RETRY_BASE_S * (2.0 ** min(attempt, RETRY_MAX_EXPONENT))
+        f = self.spec.faults
+        jitter = 0.5 + float(f.rng.random()) if f is not None else 1.0
+        delay = base * jitter
+        self.telemetry.record_fault("retries")
+        if self.tracer is not None:
+            self.tracer.emit(
+                "agent.retry", t_sim=self.sim.now,
+                host=self.spec.host_id, reason=reason,
+                attempt=attempt, delay_s=delay,
+            )
+        self.sim.schedule(delay, callback, *args)

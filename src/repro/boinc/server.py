@@ -6,10 +6,20 @@ tracks issued instances, applies the validation policy on incoming results,
 reissues after deadline misses or invalid results, and fires callbacks when
 workunits and receptor batches complete.
 
+Fault tolerance: outage windows (``ServerConfig.outages``) make the
+server refuse ``request_work``/``on_result`` RPCs — agents back off and
+retry — and a bounded reissue budget (``ServerConfig.max_reissues``)
+turns a workunit that keeps failing into a terminal ``failed`` state so a
+degraded campaign completes (with an error budget,
+:class:`repro.faults.FaultReport`) instead of hanging.  Sabotaged
+(plausible-but-wrong) results pass the value-range check and are only
+exposed when a quorum partner disagrees; see :mod:`repro.faults`.
+
 Observability: pass ``tracer=`` to record the server-channel events
 (``server.release`` / ``issue`` / ``reissue`` / ``result`` / ``validate``
-/ ``batch_complete`` / ``campaign_complete``) — see docs/observability.md
-for the taxonomy and field meanings.
+/ ``refuse`` / ``workunit_failed`` / ``batch_complete`` /
+``campaign_complete``) plus ``fault.outage`` boundaries — see
+docs/observability.md for the taxonomy and field meanings.
 """
 
 from __future__ import annotations
@@ -22,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..obs import Tracer
 
 from ..core.workunit import WorkUnit
+from ..faults import ResultQuality, ServerUnavailable
 from ..grid.des import Event, Simulator
 from ..units import days
 from .validator import AdaptiveReplication, ValidationPolicy, ValidationStats
@@ -41,6 +52,12 @@ class ServerConfig:
     )
     #: BOINC-style adaptive replication (None = phase-I fixed policy)
     adaptive: AdaptiveReplication | None = None
+    #: reissues allowed per workunit before it is terminally failed
+    #: (None = unbounded, the phase-I behaviour)
+    max_reissues: int | None = None
+    #: outage windows ``(start, end)`` during which every RPC is refused
+    #: (normally derived from :meth:`repro.faults.FaultPlan.outage_windows`)
+    outages: tuple[tuple[float, float], ...] = ()
 
 
 @dataclass
@@ -52,6 +69,9 @@ class Instance:
     issued_at: float
     timeout_event: Event | None = None
     reported: bool = False
+    #: the deadline passed before the report arrived (the copy was already
+    #: reclaimed and reissued; a late report must not re-credit it)
+    timed_out: bool = False
 
     def cancel_timeout(self) -> None:
         if self.timeout_event is not None:
@@ -62,16 +82,23 @@ class Instance:
 class _WorkunitState:
     """Server-side bookkeeping for one workunit."""
 
-    __slots__ = ("wu", "batch", "n_valid", "done", "outstanding", "trusted_single")
+    __slots__ = (
+        "wu", "batch", "n_valid", "n_valid_bad", "done", "failed",
+        "outstanding", "trusted_single", "reissues",
+    )
 
     def __init__(self, wu: WorkUnit, batch: int) -> None:
         self.wu = wu
         self.batch = batch
         self.n_valid = 0
+        #: plausible-but-wrong (sabotaged) results that passed the checks
+        self.n_valid_bad = 0
         self.done = False
+        self.failed = False  #: terminally failed (reissue budget exhausted)
         self.outstanding = 0  #: live (unreported, un-timed-out) instances
         #: adaptive replication issued this workunit as a single trusted copy
         self.trusted_single = False
+        self.reissues = 0  #: times this workunit re-entered the issue queue
 
 
 class GridServer:
@@ -117,6 +144,40 @@ class GridServer:
         self.completion_time: float | None = None
         self.batch_completion: dict[int, float] = {}
 
+        # Outage windows: boundary callbacks flip the _down flag at the
+        # exact window edges (so refusals and the fault.outage trace
+        # events carry true boundary times).  No windows -> no events.
+        self._down = False
+        self._down_until = 0.0
+        for start, end in self.config.outages:
+            sim.schedule_at(start, self._outage_begin, end)
+            sim.schedule_at(end, self._outage_end)
+
+    # -- outages -----------------------------------------------------------
+
+    def _outage_begin(self, until: float) -> None:
+        self._down = True
+        self._down_until = until
+        if self.tracer is not None:
+            self.tracer.emit(
+                "fault.outage", t_sim=self.sim.now, phase="begin", until=until,
+            )
+
+    def _outage_end(self) -> None:
+        self._down = False
+        if self.tracer is not None:
+            self.tracer.emit("fault.outage", t_sim=self.sim.now, phase="end")
+
+    def _refuse(self, op: str, host_id: int) -> None:
+        """Refuse an RPC mid-outage: count, trace, raise."""
+        self.stats.refused_rpcs += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "server.refuse", t_sim=self.sim.now, op=op, host=host_id,
+                until=self._down_until,
+            )
+        raise ServerUnavailable(self._down_until)
+
     # -- scheduling --------------------------------------------------------
 
     @property
@@ -139,7 +200,13 @@ class GridServer:
         the initial replication the validation policy demands — unless
         adaptive replication trusts the requesting host, in which case a
         single copy suffices.
+
+        Raises :class:`repro.faults.ServerUnavailable` inside an outage
+        window (callers back off and retry; ``None`` still means "up, but
+        no work left").
         """
+        if self._down:
+            self._refuse("request_work", host_id)
         state = self._next_state(host_id)
         if state is None:
             return None
@@ -198,27 +265,75 @@ class GridServer:
         if instance.reported:
             return
         instance.timeout_event = None
+        instance.timed_out = True
         state.outstanding -= 1
         if not state.done:
-            self._reissue.append(state)
-            if self.tracer is not None:
-                self.tracer.emit(
-                    "server.reissue", t_sim=self.sim.now,
-                    wu=state.wu.wu_id, host=instance.host_id, reason="deadline",
-                )
+            self._requeue(state, instance.host_id, "deadline")
+
+    def _requeue(self, state: _WorkunitState, host_id: int, reason: str) -> None:
+        """Re-enter the issue queue — or terminally fail the workunit once
+        its reissue budget (``ServerConfig.max_reissues``) is exhausted."""
+        state.reissues += 1
+        max_reissues = self.config.max_reissues
+        if max_reissues is not None and state.reissues > max_reissues:
+            self._fail(state, reason)
+            return
+        self._reissue.append(state)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "server.reissue", t_sim=self.sim.now,
+                wu=state.wu.wu_id, host=host_id, reason=reason,
+            )
+
+    def _fail(self, state: _WorkunitState, reason: str) -> None:
+        """Terminal failure: close the workunit so the campaign degrades
+        gracefully (completes with an error budget) instead of hanging."""
+        state.done = True
+        state.failed = True
+        self.stats.failed += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                "server.workunit_failed", t_sim=self.sim.now,
+                wu=state.wu.wu_id, batch=state.batch,
+                reissues=state.reissues, reason=reason,
+            )
+        self._check_campaign_complete()
 
     # -- results -----------------------------------------------------------
 
     def on_result(
-        self, instance: Instance, valid: bool, accounted_cpu_s: float
+        self,
+        instance: Instance,
+        valid: bool,
+        accounted_cpu_s: float,
+        quality: "ResultQuality | None" = None,
     ) -> None:
-        """An agent reports a result (possibly after its deadline)."""
+        """An agent reports a result (possibly after its deadline).
+
+        ``quality`` is the fault-injection ground truth: ``None`` derives
+        it from ``valid`` (the fault-free path).  ``ERRONEOUS`` results
+        fail the range check and are rejected; ``SABOTAGED`` results pass
+        it and are only caught when a quorum partner disagrees.
+
+        Raises :class:`repro.faults.ServerUnavailable` inside an outage
+        window — nothing is recorded, the agent retries later.
+        """
+        if self._down:
+            self._refuse("on_result", instance.host_id)
         if instance.reported:
             raise RuntimeError("instance reported twice")
+        if quality is None:
+            quality = ResultQuality.OK if valid else ResultQuality.ERRONEOUS
+        valid = quality is not ResultQuality.ERRONEOUS
         instance.reported = True
         instance.cancel_timeout()
         state = self._state_of(instance.wu)
-        state.outstanding = max(0, state.outstanding - 1)
+        if not instance.timed_out:
+            # A timed-out copy already gave its outstanding slot back when
+            # the deadline reclaimed it; decrementing again would wrongly
+            # zero the count while a reissued copy is still computing (and
+            # trigger a spurious quorum-stall reissue).
+            state.outstanding = max(0, state.outstanding - 1)
         self.stats.record_result(accounted_cpu_s)
         if self.tracer is not None:
             self.tracer.emit(
@@ -235,36 +350,43 @@ class GridServer:
             self.stats.invalid += 1
             if adaptive is not None:
                 adaptive.record_invalid(instance.host_id)
-            self._reissue.append(state)
-            if self.tracer is not None:
-                self.tracer.emit(
-                    "server.reissue", t_sim=self.sim.now,
-                    wu=state.wu.wu_id, host=instance.host_id, reason="invalid",
-                )
+            self._requeue(state, instance.host_id, "invalid")
             return
 
+        # The result *looks* valid to the server (OK, or plausible-but-
+        # wrong sabotage that the range check cannot catch).
         if adaptive is not None:
             adaptive.record_valid(instance.host_id)
         quorum = self.config.validation.quorum_at(self.sim.now)
         if state.trusted_single:
             quorum = 1
-        state.n_valid += 1
+        if quality is ResultQuality.SABOTAGED:
+            state.n_valid_bad += 1
+        else:
+            state.n_valid += 1
         if state.n_valid >= quorum:
             if state.trusted_single:
                 regime = "adaptive"
             else:
                 regime = "quorum" if quorum >= 2 else "bounds"
-            self.stats.quorum_extra += state.n_valid - 1
+            self.stats.quorum_extra += state.n_valid + state.n_valid_bad - 1
+            # Sabotaged copies that lost the comparison were caught.
+            self.stats.sabotage_caught += state.n_valid_bad
             self._validate(state, regime)
+        elif state.n_valid_bad >= quorum:
+            # Wrong-but-agreeing results met the quorum (or a single
+            # sabotaged result passed the bounds check / adaptive trust):
+            # the workunit validates with bad science.  FaultReport
+            # surfaces these in the error budget.
+            if state.trusted_single:
+                regime = "adaptive"
+            else:
+                regime = "quorum" if quorum >= 2 else "bounds"
+            self.stats.quorum_extra += state.n_valid + state.n_valid_bad - 1
+            self._validate(state, regime, tainted=True)
         elif state.outstanding == 0:
             # Waiting for a quorum partner nobody is computing: reissue.
-            self._reissue.append(state)
-            if self.tracer is not None:
-                self.tracer.emit(
-                    "server.reissue", t_sim=self.sim.now,
-                    wu=state.wu.wu_id, host=instance.host_id,
-                    reason="quorum-stall",
-                )
+            self._requeue(state, instance.host_id, "quorum-stall")
 
     def _state_of(self, wu: WorkUnit) -> _WorkunitState:
         state = self._states[wu.wu_id]
@@ -272,14 +394,25 @@ class GridServer:
             raise KeyError(f"unknown workunit {wu.wu_id}")
         return state
 
-    def _validate(self, state: _WorkunitState, regime: str) -> None:
+    def _validate(
+        self, state: _WorkunitState, regime: str, tainted: bool = False
+    ) -> None:
         state.done = True
         self.stats.record_validation(state.wu.cost_reference_s, regime)
+        if tainted:
+            self.stats.bad_validated += 1
         if self.tracer is not None:
-            self.tracer.emit(
-                "server.validate", t_sim=self.sim.now,
-                wu=state.wu.wu_id, batch=state.batch, regime=regime,
-            )
+            if tainted:
+                self.tracer.emit(
+                    "server.validate", t_sim=self.sim.now,
+                    wu=state.wu.wu_id, batch=state.batch, regime=regime,
+                    tainted=True,
+                )
+            else:
+                self.tracer.emit(
+                    "server.validate", t_sim=self.sim.now,
+                    wu=state.wu.wu_id, batch=state.batch, regime=regime,
+                )
         if self._on_workunit_valid is not None:
             self._on_workunit_valid(state.wu, self.sim.now)
         self._batch_remaining[state.batch] -= 1
@@ -292,7 +425,11 @@ class GridServer:
                 )
             if self._on_batch_complete is not None:
                 self._on_batch_complete(state.batch, self.sim.now)
-        if self.stats.effective == len(self._states):
+        self._check_campaign_complete()
+
+    def _check_campaign_complete(self) -> None:
+        """Close the campaign once every workunit is validated or failed."""
+        if self.stats.effective + self.stats.failed == len(self._states):
             self.completion_time = self.sim.now
             if self.tracer is not None:
                 self.tracer.emit(

@@ -32,12 +32,14 @@ docs/observability.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass, field, replace
 from typing import Callable
 
 import numpy as np
 
 from .. import constants
+from ..faults import FaultPlan, FaultReport
 from ..obs import MetricsRegistry, Profiler, Tracer
 from ..core.campaign import CampaignPlan
 from ..core.metrics import CampaignMetrics
@@ -45,17 +47,24 @@ from ..core.packaging import PackagingPolicy, WorkUnitPlan
 from ..core.workunit import WorkUnit
 from ..grid.des import Simulator
 from ..grid.host import HostPopulationModel
-from ..grid.population import ShareSchedule, WCGPopulationModel, hcmd_share_schedule
+from ..grid.population import hcmd_share_schedule, WCGPopulationModel
 from ..maxdo.cost_model import CostModel
 from ..proteins.library import ProteinLibrary
 from ..rng import substream
 from ..units import SECONDS_PER_DAY, SECONDS_PER_WEEK, weeks
 from .agent import VolunteerAgent
+from .config import CampaignConfig
 from .credit import AccountingMode
 from .server import GridServer, ServerConfig
 from .validator import ValidationPolicy
 
-__all__ = ["Telemetry", "CampaignResult", "VolunteerGridSimulation", "scaled_phase1"]
+__all__ = [
+    "Telemetry",
+    "CampaignResult",
+    "CampaignConfig",
+    "VolunteerGridSimulation",
+    "scaled_phase1",
+]
 
 
 #: Device run-time histogram bucket bounds, in hours (the Figure 8 axis:
@@ -178,6 +187,18 @@ class Telemetry:
     def record_credit(self, points: float) -> None:
         self._credit.inc(points)
 
+    def record_fault(self, kind: str) -> None:
+        """Count one injected fault / recovery action.
+
+        The ``fault.<kind>`` counter is created lazily on first use, so a
+        fault-free campaign's registry export stays byte-identical — no
+        zero-valued fault counters appear out of nowhere.
+        """
+        self.registry.counter(
+            f"fault.{kind}",
+            help=f"injected faults / recovery actions: {kind}",
+        ).inc()
+
     def record_shipment(self, t: float, n_bytes: int) -> None:
         """A completed receptor batch shipped to the storage server."""
         self.shipments.append((t, n_bytes))
@@ -219,6 +240,8 @@ class CampaignResult:
     #: completion time of each receptor batch (by release position), NaN if
     #: incomplete
     batch_completion_s: np.ndarray
+    #: the fault plan the campaign ran under (empty = fault-free)
+    faults: FaultPlan = FaultPlan.none()
 
     @property
     def span_s(self) -> float:
@@ -239,6 +262,16 @@ class CampaignResult:
             useful_reference_cpu_s=stats.useful_reference_s,
             results_disclosed=stats.disclosed,
             results_effective=stats.effective,
+        )
+
+    def fault_report(self) -> FaultReport:
+        """The campaign-level error budget (what was injected, what the
+        defences caught, what slipped through, what failed terminally)."""
+        return FaultReport.collect(
+            self.faults,
+            self.server.stats,
+            self.telemetry.registry,
+            total_workunits=self.server.n_workunits,
         )
 
     def mean_device_run_hours(self) -> float:
@@ -304,23 +337,28 @@ class CampaignResult:
             ),
         ]
         m = self.metrics()
+        payload = {
+            "completion_weeks": self.completion_weeks,
+            "n_hosts": self.n_hosts,
+            "scale": self.scale,
+            "vftp": m.vftp,
+            "redundancy": m.redundancy,
+            "useful_result_fraction": m.useful_result_fraction,
+            "speed_down_raw": m.speed_down_raw,
+            "speed_down_net": m.speed_down_net,
+            "shipped_bytes": self.shipped_bytes_total(),
+            # every registry metric (daily series, counters,
+            # histograms) rides along, self-describing
+            "registry": t.registry.as_dict(),
+        }
+        if self.faults.enabled:
+            # Fault-free exports stay byte-identical: the error budget
+            # only appears when a plan was active.
+            payload["faults"] = self.fault_report().as_dict()
         paths.append(
             export_json(
                 directory / "metrics.json",
-                {
-                    "completion_weeks": self.completion_weeks,
-                    "n_hosts": self.n_hosts,
-                    "scale": self.scale,
-                    "vftp": m.vftp,
-                    "redundancy": m.redundancy,
-                    "useful_result_fraction": m.useful_result_fraction,
-                    "speed_down_raw": m.speed_down_raw,
-                    "speed_down_net": m.speed_down_net,
-                    "shipped_bytes": self.shipped_bytes_total(),
-                    # every registry metric (daily series, counters,
-                    # histograms) rides along, self-describing
-                    "registry": t.registry.as_dict(),
-                },
+                payload,
                 experiment="scaled phase-I campaign",
             )
         )
@@ -328,52 +366,83 @@ class CampaignResult:
 
 
 class VolunteerGridSimulation:
-    """A configurable volunteer-grid campaign."""
+    """A configurable volunteer-grid campaign.
+
+    The preferred construction is a :class:`CampaignConfig`::
+
+        sim = VolunteerGridSimulation(library, cost_model, CampaignConfig(
+            seed=7, faults=FaultPlan.from_spec("corrupt=0.1"),
+        ))
+
+    (or equivalently :meth:`from_config`).  The historical 16-keyword
+    style — ``VolunteerGridSimulation(library, cost_model, packaging=...,
+    server_config=..., seed=...)`` — still works through a deprecation
+    shim that folds the keywords into a config (``server_config`` maps to
+    the ``server`` field) and emits a :class:`DeprecationWarning`.
+    """
 
     def __init__(
         self,
         library: ProteinLibrary,
         cost_model: CostModel,
-        packaging: PackagingPolicy | None = None,
-        host_model: HostPopulationModel | None = None,
-        share_schedule: ShareSchedule | None = None,
-        population: WCGPopulationModel | None = None,
-        server_config: ServerConfig | None = None,
-        n_hosts_peak: int | None = None,
-        horizon_weeks: float = 40.0,
-        scale: float = 1.0,
-        seed: int = constants.DEFAULT_SEED,
-        accounting: "AccountingMode | None" = None,
-        release_policy: str = "least-cost",
+        config: CampaignConfig | None = None,
+        *,
         tracer: Tracer | None = None,
         profiler: Profiler | None = None,
+        **legacy,
     ) -> None:
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    "pass either a CampaignConfig or legacy keyword arguments, "
+                    "not both: " + ", ".join(sorted(legacy))
+                )
+            warnings.warn(
+                "configuring VolunteerGridSimulation through individual "
+                "keyword arguments is deprecated; pass a CampaignConfig "
+                "(server_config= becomes the server= field)",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = CampaignConfig.from_kwargs(**legacy)
+        if config is None:
+            config = CampaignConfig()
+        #: the resolved campaign configuration (frozen)
+        self.config = config
         self.library = library
         self.cost_model = cost_model
         #: structured event tracing for the DES/server/agents (opt-in)
         self.tracer = tracer
         #: per-callback and per-phase wall-time aggregation (opt-in)
         self.profiler = profiler
-        self.packaging = packaging if packaging is not None else PackagingPolicy(
-            target_hours=3.65
+        self.packaging = (
+            config.packaging
+            if config.packaging is not None
+            else PackagingPolicy(target_hours=3.65)
         )
-        self.horizon_s = weeks(horizon_weeks)
-        self.scale = scale
-        self.seed = seed
+        self.horizon_s = weeks(config.horizon_weeks)
+        self.scale = config.scale
+        self.seed = config.seed
+        #: the fault-injection plan (empty = fault-free campaign)
+        self.faults = config.faults
         self.share_schedule = (
-            share_schedule if share_schedule is not None else hcmd_share_schedule()
+            config.share_schedule
+            if config.share_schedule is not None
+            else hcmd_share_schedule()
         )
         self.population = (
-            population if population is not None else WCGPopulationModel.calibrated()
+            config.population
+            if config.population is not None
+            else WCGPopulationModel.calibrated()
         )
         self.host_model = (
-            host_model
-            if host_model is not None
-            else HostPopulationModel(seed=seed, horizon=self.horizon_s)
+            config.host_model
+            if config.host_model is not None
+            else HostPopulationModel(seed=self.seed, horizon=self.horizon_s)
         )
-        self.server_config = (
-            server_config
-            if server_config is not None
+        server_config = (
+            config.server
+            if config.server is not None
             else ServerConfig(
                 # The value-range validation method replaced quorum
                 # comparison mid-campaign; week 16 reproduces the overall
@@ -381,17 +450,44 @@ class VolunteerGridSimulation:
                 validation=ValidationPolicy(switch_time=weeks(16.0))
             )
         )
+        if self.faults.enabled:
+            overrides = {}
+            if self.faults.max_reissues is not None:
+                overrides["max_reissues"] = self.faults.max_reissues
+            if self.faults.outages is not None:
+                overrides["outages"] = self.faults.outage_windows(
+                    self.seed, self.horizon_s
+                )
+            if overrides:
+                server_config = replace(server_config, **overrides)
+        self.server_config = server_config
 
         #: phase I ran on the UD agent (wall-clock accounting); pass
         #: ``AccountingMode.BOINC_CPU_TIME`` for a phase-II-style campaign.
         self.accounting = (
-            accounting if accounting is not None else AccountingMode.UD_WALL_CLOCK
+            config.accounting
+            if config.accounting is not None
+            else AccountingMode.UD_WALL_CLOCK
         )
         self.plan = WorkUnitPlan(cost_model, self.packaging)
-        self.campaign = CampaignPlan(library, cost_model, policy=release_policy)
+        self.campaign = CampaignPlan(library, cost_model, policy=config.release_policy)
+        n_hosts_peak = config.n_hosts_peak
         if n_hosts_peak is None:
             n_hosts_peak = self._auto_host_count()
         self.n_hosts_peak = n_hosts_peak
+
+    @classmethod
+    def from_config(
+        cls,
+        library: ProteinLibrary,
+        cost_model: CostModel,
+        config: CampaignConfig,
+        *,
+        tracer: Tracer | None = None,
+        profiler: Profiler | None = None,
+    ) -> "VolunteerGridSimulation":
+        """Build a simulation from a :class:`CampaignConfig` (no shim)."""
+        return cls(library, cost_model, config, tracer=tracer, profiler=profiler)
 
     # -- sizing ------------------------------------------------------------
 
@@ -492,7 +588,11 @@ class VolunteerGridSimulation:
             agents: list[VolunteerAgent] = []
             starts: list[tuple[float, Callable[[], None]]] = []
             for idx, join_t in enumerate(arrivals):
-                spec = self.host_model.spec(idx, join_time=float(join_t))
+                spec = self.host_model.spec(
+                    idx,
+                    join_time=float(join_t),
+                    faults=self.faults.host_state(self.seed, idx),
+                )
                 agent = VolunteerAgent(
                     sim,
                     server,
@@ -524,6 +624,7 @@ class VolunteerGridSimulation:
             n_hosts=len(agents),
             release_order=self.campaign.release_order.copy(),
             batch_completion_s=batch_completion,
+            faults=self.faults,
         )
 
 
@@ -533,6 +634,9 @@ def scaled_phase1(
     seed: int = constants.DEFAULT_SEED,
     target_hours: float = 3.65,
     horizon_weeks: float = 40.0,
+    config: CampaignConfig | None = None,
+    tracer: Tracer | None = None,
+    profiler: Profiler | None = None,
     **kwargs,
 ) -> VolunteerGridSimulation:
     """A phase-I-like campaign shrunk by ``scale``.
@@ -544,10 +648,16 @@ def scaled_phase1(
     scale-free observables (redundancy, speed-down, useful fraction,
     three-phase shape).
 
-    Extra keyword arguments reach :class:`VolunteerGridSimulation`
-    unchanged; in particular ``tracer=Tracer.to_jsonl(path)`` records a
-    structured campaign trace and ``profiler=Profiler()`` aggregates
-    per-callback wall time (see docs/observability.md).
+    A :class:`CampaignConfig` passed as ``config=`` supplies the
+    remaining knobs (fault plan, server policy, host model, ...); its
+    ``scale``/``seed``/``horizon_weeks`` are overridden by this
+    function's arguments, and its ``packaging`` only when unset.  Legacy
+    keyword arguments (``accounting=``, ``server_config=``,
+    ``n_hosts_peak=``, ``faults=``, ...) are folded into the config
+    unchanged, so existing callers keep working.  ``tracer=Tracer.
+    to_jsonl(path)`` records a structured campaign trace and
+    ``profiler=Profiler()`` aggregates per-callback wall time (see
+    docs/observability.md).
     """
     sum_nsep = max(
         n_proteins,
@@ -557,12 +667,13 @@ def scaled_phase1(
         n_proteins=n_proteins, sum_nsep=sum_nsep, seed=seed
     )
     cost_model = CostModel.calibrated(library, seed=seed)
+    if config is None:
+        config = CampaignConfig()
+    if config.packaging is None:
+        config = config.with_(packaging=PackagingPolicy(target_hours=target_hours))
+    config = config.with_(horizon_weeks=horizon_weeks, scale=scale, seed=seed)
+    if kwargs:
+        config = config.with_(**kwargs)
     return VolunteerGridSimulation(
-        library,
-        cost_model,
-        packaging=PackagingPolicy(target_hours=target_hours),
-        horizon_weeks=horizon_weeks,
-        scale=scale,
-        seed=seed,
-        **kwargs,
+        library, cost_model, config, tracer=tracer, profiler=profiler
     )

@@ -107,6 +107,11 @@ class ValidationStats:
     quorum_extra: int = 0  #: valid results consumed by quorum comparison
     consumed_cpu_s: float = 0.0  #: accounted device time, all results
     useful_reference_s: float = 0.0  #: reference cost of validated workunits
+    # -- fault-injection accounting (all zero on a fault-free campaign) ----
+    failed: int = 0  #: workunits terminally failed (reissue budget exhausted)
+    bad_validated: int = 0  #: workunits validated on sabotaged results
+    sabotage_caught: int = 0  #: sabotaged results exposed by quorum compare
+    refused_rpcs: int = 0  #: RPCs refused during server outage windows
     _by_regime: dict[str, int] = field(
         default_factory=lambda: {"quorum": 0, "bounds": 0, "adaptive": 0}
     )

@@ -77,6 +77,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--profile", action="store_true",
         help="aggregate wall time per DES callback and print the summary",
     )
+    simu.add_argument(
+        "--faults", metavar="SPEC", default=None,
+        help="inject faults: comma-separated key=value spec, e.g. "
+             "'crash=5,corrupt=0.05,sabotage=0.02,outage=2x12,loss=0.1,"
+             "maxreissue=10' (see repro.faults.FaultPlan.from_spec); "
+             "prints the campaign error budget after the metrics",
+    )
 
     sub.add_parser("compare", help="Table 2: volunteer vs dedicated grid")
 
@@ -123,7 +130,7 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--channel", default=None,
         help="restrict the timeline to one channel (des, server, agent, "
-             "docking, telemetry)",
+             "fault, docking, telemetry)",
     )
     return parser
 
@@ -172,7 +179,9 @@ def _cmd_package(args: argparse.Namespace) -> int:
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from .boinc.config import CampaignConfig
     from .boinc.simulator import scaled_phase1
+    from .faults import FaultPlan
     from .obs import Profiler, Tracer
 
     tracer = None
@@ -184,11 +193,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         )
         tracer = Tracer.to_jsonl(args.trace, channels=channels)
     profiler = Profiler() if args.profile else None
+    faults = (
+        FaultPlan.from_spec(args.faults)
+        if args.faults is not None
+        else FaultPlan.none()
+    )
+    config = CampaignConfig(
+        accounting=AccountingMode(args.accounting),
+        faults=faults,
+    )
     sim = scaled_phase1(
         scale=args.scale,
         n_proteins=args.proteins,
         seed=args.seed,
-        accounting=AccountingMode(args.accounting),
+        config=config,
         tracer=tracer,
         profiler=profiler,
     )
@@ -210,6 +228,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["points-based VFTP / truth",
          f"{result.vftp_from_credit() / result.vftp_from_useful_work():.2f}", "-"],
     ]))
+    if faults.enabled:
+        print("\nerror budget (fault injection):")
+        print(render_table(["quantity", "value"], result.fault_report().rows()))
     if tracer is not None:
         print(f"\ntrace: {tracer.n_events:,} events -> {args.trace} "
               f"(summarize with `repro-hcmd trace {args.trace}`)")

@@ -25,6 +25,7 @@ accounting bias.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -32,6 +33,9 @@ from .. import constants
 from ..rng import substream
 from ..units import SECONDS_PER_HOUR
 from .availability import AvailabilityTrace, generate_trace
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..faults import HostFaultState
 
 __all__ = ["HostProfile", "HostSpec", "HostPopulationModel"]
 
@@ -95,6 +99,10 @@ class HostSpec:
     abandon_prob: float
     report_delay_mean_s: float
     trace: AvailabilityTrace
+    #: fault-injection state for this host (crash MTBF, sabotage flag,
+    #: report-loss probability and the dedicated fault RNG); None on a
+    #: fault-free campaign — see :mod:`repro.faults`
+    faults: "HostFaultState | None" = None
 
     def __post_init__(self) -> None:
         if self.speed <= 0 or not 0 < self.duty_cycle <= 1:
@@ -136,8 +144,18 @@ class HostPopulationModel:
         self.seed = seed
         self.horizon = horizon
 
-    def spec(self, index: int, join_time: float = 0.0) -> HostSpec:
-        """Materialize host ``index`` joining the project at ``join_time``."""
+    def spec(
+        self,
+        index: int,
+        join_time: float = 0.0,
+        faults: "HostFaultState | None" = None,
+    ) -> HostSpec:
+        """Materialize host ``index`` joining the project at ``join_time``.
+
+        ``faults`` attaches a per-host fault-injection state (derived by
+        :meth:`repro.faults.FaultPlan.host_state` from its own substream,
+        so it never perturbs this host's behavioural draws).
+        """
         p = self.profile
         rng = substream(self.seed, "host", index)
         speed = p.speed_median * float(np.exp(rng.normal(0.0, p.speed_sigma)))
@@ -163,6 +181,7 @@ class HostPopulationModel:
             abandon_prob=p.abandon_prob,
             report_delay_mean_s=p.report_delay_mean_h * SECONDS_PER_HOUR,
             trace=trace,
+            faults=faults,
         )
 
     def with_profile(self, **overrides) -> "HostPopulationModel":

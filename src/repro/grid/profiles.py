@@ -138,11 +138,11 @@ class MixtureHostModel:
         choice = int(rng.choice(len(self.classes), p=self._probs))
         return self.classes[choice]
 
-    def spec(self, index: int, join_time: float = 0.0) -> HostSpec:
+    def spec(self, index: int, join_time: float = 0.0, faults=None) -> HostSpec:
         """Materialize host ``index`` from its class's population model."""
         rng = substream(self.seed, "device-class", index)
         choice = int(rng.choice(len(self.classes), p=self._probs))
-        return self._models[choice].spec(index, join_time=join_time)
+        return self._models[choice].spec(index, join_time=join_time, faults=faults)
 
     def with_profile(self, **overrides) -> "MixtureHostModel":
         """Override profile fields across every class (API parity)."""

@@ -22,6 +22,7 @@ import os
 import shutil
 import subprocess
 import tempfile
+import warnings
 from pathlib import Path
 
 import numpy as np
@@ -119,10 +120,23 @@ def load() -> ctypes.CDLL | None:
                 try:
                     _lib = _bind(ctypes.CDLL(str(out)))
                     return _lib
-                except OSError:
+                except (OSError, AttributeError):
+                    # unloadable cache artifact, or a stale library missing
+                    # a symbol _bind expects; try the next flag set
                     continue
         return None
-    except Exception:
+    except OSError as exc:
+        # Cache-directory setup failed (read-only tmp, permissions, ...).
+        # The numpy fallback is silent by design everywhere else in this
+        # function — compiler absent, build failed — because those are
+        # expected environments; an unusable temp dir is not, so say why
+        # the fast path vanished instead of quietly running ~2x slower.
+        warnings.warn(
+            f"fused docking kernels disabled ({exc}); using the numpy "
+            "fallback",
+            RuntimeWarning,
+            stacklevel=2,
+        )
         _lib = None
         return None
 

@@ -33,8 +33,13 @@ EVENT_TYPES: dict[str, str] = {
                       "(`reason` = deadline | invalid | quorum-stall)",
     "server.result": "a result report arrived (`valid`, `late`)",
     "server.validate": "a workunit validated (`regime` = quorum | bounds | adaptive)",
+    "server.refuse": "an RPC was refused during a server outage window "
+                     "(`op` = request_work | on_result)",
+    "server.workunit_failed": "a workunit exhausted its reissue budget and "
+                              "was terminally failed",
     "server.batch_complete": "every workunit of a receptor batch validated",
-    "server.campaign_complete": "the last workunit of the campaign validated",
+    "server.campaign_complete": "the last workunit of the campaign closed "
+                                "(validated or failed)",
     # -- volunteer agent (repro.boinc.agent) -------------------------------
     "agent.fetch": "an agent fetched a workunit instance",
     "agent.idle": "no work was available; the agent backs off before repolling",
@@ -43,6 +48,14 @@ EVENT_TYPES: dict[str, str] = {
                         "(`killed` = in-memory progress was lost)",
     "agent.complete": "a workunit finished computing (report still pending)",
     "agent.report": "an agent reported a finished result to the server",
+    "agent.retry": "an agent backed off (exponential, jittered) before "
+                   "retrying a refused or lost RPC (`reason`, `attempt`)",
+    # -- fault injection (repro.faults) ------------------------------------
+    "fault.crash": "an injected host crash lost un-checkpointed progress",
+    "fault.corrupt": "an injected corruption made a result detectably invalid",
+    "fault.sabotage": "a sabotage host returned a plausible-but-wrong result",
+    "fault.report_lost": "an injected network fault dropped a result report",
+    "fault.outage": "a server outage window began or ended (`phase`)",
     # -- docking engine (repro.maxdo.docking) ------------------------------
     "docking.engine": "an execution engine was selected for a docking run",
     "docking.batch": "a lockstep batched minimization finished "
@@ -56,7 +69,9 @@ EVENT_TYPES: dict[str, str] = {
 }
 
 #: The per-subsystem channels, in taxonomy order.
-CHANNELS: tuple[str, ...] = ("des", "server", "agent", "docking", "telemetry")
+CHANNELS: tuple[str, ...] = (
+    "des", "server", "agent", "fault", "docking", "telemetry"
+)
 
 
 def channel_of(etype: str) -> str:

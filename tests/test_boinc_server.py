@@ -154,6 +154,53 @@ class TestDeadlines:
         assert server.request_work(2) is None
 
 
+class TestLateRace:
+    """Results racing the deadline reissue must not double-count."""
+
+    def test_timed_out_copy_keeps_outstanding_balanced(self):
+        sim = Simulator()
+        server = _server(sim, n=1, switch_time=1e9, deadline=50.0)
+        a = server.request_work(1)
+        sim.run(until=20.0)
+        b = server.request_work(2)  # second quorum copy, later deadline
+        sim.run(until=55.0)  # only a's deadline passed: reclaim + requeue
+        assert a.timed_out and not b.timed_out
+        # The late report arrives while the reissued copy is unclaimed.
+        server.on_result(a, valid=True, accounted_cpu_s=1.0)
+        # a already gave its outstanding slot back at the deadline; the
+        # late report must not free a second one, which would read as a
+        # quorum stall and spuriously queue yet another copy.
+        c = server.request_work(3)
+        assert c is not None and c.wu.wu_id == 0  # the deadline reissue
+        assert server.request_work(4) is None  # ...and nothing beyond it
+        # The late-but-prevalidation result still counts toward quorum.
+        server.on_result(c, valid=True, accounted_cpu_s=1.0)
+        assert server.stats.effective == 1
+        assert server.stats.useful_reference_s == 1000.0
+        server.on_result(b, valid=True, accounted_cpu_s=1.0)
+        assert server.stats.late == 1
+        assert server.stats.effective == 1  # no double validation
+
+    def test_late_report_after_validation_stays_redundant(self):
+        sim = Simulator()
+        server = _server(sim, n=1, deadline=50.0)  # bounds: single validates
+        a = server.request_work(1)
+        sim.run(until=60.0)  # a reclaimed and reissued
+        c = server.request_work(2)
+        server.on_result(c, valid=True, accounted_cpu_s=1.0)
+        assert server.stats.effective == 1
+        t_done = server.completion_time
+        assert t_done is not None
+        done_batches = list(server.batch_completion)
+        # The abandoned copy finally reports, long after validation.
+        server.on_result(a, valid=True, accounted_cpu_s=1.0)
+        assert server.stats.late == 1
+        assert server.stats.effective == 1
+        assert server.stats.useful_reference_s == 1000.0  # credited once
+        assert server.completion_time == t_done
+        assert list(server.batch_completion) == done_batches
+
+
 class TestBatches:
     def test_batch_completion_callback(self):
         sim = Simulator()

@@ -1,0 +1,161 @@
+"""CampaignConfig: the consolidated campaign-configuration value object.
+
+Covers the frozen dataclass itself (defaults, validation, ``with_``,
+legacy-alias translation) and the two construction paths into
+:class:`VolunteerGridSimulation` — the preferred config object and the
+deprecated keyword shim — including the contract that both resolve to
+the same simulation.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import warnings
+
+import pytest
+
+from repro import constants
+from repro.boinc import CampaignConfig, scaled_phase1
+from repro.boinc.credit import AccountingMode
+from repro.boinc.server import ServerConfig
+from repro.boinc.simulator import VolunteerGridSimulation
+from repro.boinc.validator import ValidationPolicy
+from repro.faults import FaultPlan
+from repro.maxdo.cost_model import CostModel
+from repro.proteins.library import ProteinLibrary
+from repro.units import weeks
+
+
+def _library_and_costs(seed: int = 1):
+    library = ProteinLibrary.synthetic(n_proteins=4, sum_nsep=8, seed=seed)
+    return library, CostModel.calibrated(library, seed=seed)
+
+
+class TestConfigValue:
+    def test_defaults_are_phase1(self):
+        cfg = CampaignConfig()
+        assert cfg.packaging is None
+        assert cfg.server is None
+        assert cfg.faults == FaultPlan.none()
+        assert not cfg.faults.enabled
+        assert cfg.horizon_weeks == 40.0
+        assert cfg.scale == 1.0
+        assert cfg.seed == constants.DEFAULT_SEED
+        assert cfg.release_policy == "least-cost"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(horizon_weeks=0.0)
+        with pytest.raises(ValueError):
+            CampaignConfig(scale=-1.0)
+
+    def test_frozen(self):
+        cfg = CampaignConfig()
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            cfg.seed = 3
+
+    def test_with_returns_new_instance(self):
+        cfg = CampaignConfig()
+        derived = cfg.with_(seed=9, horizon_weeks=20.0)
+        assert derived.seed == 9
+        assert derived.horizon_weeks == 20.0
+        assert cfg.seed == constants.DEFAULT_SEED  # original untouched
+
+    def test_with_validates(self):
+        with pytest.raises(ValueError):
+            CampaignConfig().with_(scale=0.0)
+
+    def test_with_rejects_unknown_field(self):
+        with pytest.raises(TypeError):
+            CampaignConfig().with_(quorum=3)
+
+    def test_legacy_alias_server_config(self):
+        sc = ServerConfig(deadline_s=123456.0)
+        assert CampaignConfig.from_kwargs(server_config=sc).server is sc
+        assert CampaignConfig().with_(server_config=sc).server is sc
+
+
+class TestConstructionPaths:
+    def test_legacy_kwargs_warn_and_match_config(self):
+        library, costs = _library_and_costs()
+        sc = ServerConfig(validation=ValidationPolicy(switch_time=weeks(4.0)))
+        with pytest.warns(DeprecationWarning, match="CampaignConfig"):
+            legacy = VolunteerGridSimulation(
+                library, costs,
+                server_config=sc, seed=5, horizon_weeks=30.0,
+                accounting=AccountingMode.BOINC_CPU_TIME, n_hosts_peak=7,
+            )
+        cfg = CampaignConfig(
+            server=sc, seed=5, horizon_weeks=30.0,
+            accounting=AccountingMode.BOINC_CPU_TIME, n_hosts_peak=7,
+        )
+        modern = VolunteerGridSimulation.from_config(library, costs, cfg)
+        assert legacy.config == modern.config
+        assert legacy.seed == modern.seed == 5
+        assert legacy.server_config == modern.server_config == sc
+        assert legacy.accounting is AccountingMode.BOINC_CPU_TIME
+        assert legacy.n_hosts_peak == modern.n_hosts_peak == 7
+
+    def test_config_plus_legacy_kwargs_is_an_error(self):
+        library, costs = _library_and_costs()
+        with pytest.raises(TypeError, match="not both"):
+            VolunteerGridSimulation(
+                library, costs, CampaignConfig(), seed=5
+            )
+
+    def test_from_config_does_not_warn(self):
+        library, costs = _library_and_costs()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sim = VolunteerGridSimulation.from_config(
+                library, costs, CampaignConfig(seed=3)
+            )
+        assert sim.seed == 3
+
+    def test_bare_construction_uses_defaults(self):
+        library, costs = _library_and_costs()
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sim = VolunteerGridSimulation(library, costs)
+        assert sim.config == CampaignConfig()
+        assert sim.seed == constants.DEFAULT_SEED
+
+
+class TestScaledPhase1:
+    def test_kwargs_fold_into_config_without_warning(self):
+        sc = ServerConfig(deadline_s=123456.0)
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            sim = scaled_phase1(
+                scale=900, n_proteins=5, server_config=sc, n_hosts_peak=9
+            )
+        assert sim.server_config is sc
+        assert sim.n_hosts_peak == 9
+        assert sim.config.server is sc
+
+    def test_explicit_args_override_config(self):
+        cfg = CampaignConfig(seed=1, scale=2.0, horizon_weeks=10.0)
+        sim = scaled_phase1(
+            scale=900, n_proteins=5, seed=4, horizon_weeks=30.0, config=cfg
+        )
+        assert sim.seed == 4
+        assert sim.scale == 900
+        assert sim.horizon_s == weeks(30.0)
+
+    def test_config_packaging_wins_when_set(self):
+        from repro.core.packaging import PackagingPolicy
+
+        custom = PackagingPolicy(target_hours=8.0)
+        sim = scaled_phase1(
+            scale=900, n_proteins=5, config=CampaignConfig(packaging=custom)
+        )
+        assert sim.packaging is custom
+        default = scaled_phase1(scale=900, n_proteins=5)
+        assert default.packaging.target_hours == pytest.approx(3.65)
+
+    def test_fault_plan_threads_through(self):
+        cfg = CampaignConfig(faults=FaultPlan.from_spec("outage=2x6,maxreissue=4"))
+        sim = scaled_phase1(scale=900, n_proteins=5, config=cfg)
+        assert sim.faults.enabled
+        assert sim.server_config.max_reissues == 4
+        assert len(sim.server_config.outages) == 2

@@ -58,6 +58,26 @@ class TestCommands:
             "--accounting", "boinc",
         ]) == 0
 
+    def test_simulate_faults(self, capsys):
+        assert main([
+            "simulate", "--scale", "900", "--proteins", "5",
+            "--faults", "corrupt=0.1,loss=0.1,maxreissue=10",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "error budget (fault injection)" in out
+        assert "fault plan" in out
+        assert "invalid results rejected" in out
+        assert "workunits failed (reissue budget)" in out
+
+    def test_simulate_without_faults_prints_no_budget(self, capsys):
+        assert main(["simulate", "--scale", "900", "--proteins", "5"]) == 0
+        assert "error budget" not in capsys.readouterr().out
+
+    def test_simulate_bad_fault_spec_rejected(self):
+        with pytest.raises(ValueError):
+            main(["simulate", "--scale", "900", "--proteins", "5",
+                  "--faults", "jitter=3"])
+
     def test_compare(self, capsys):
         assert main(["compare"]) == 0
         out = capsys.readouterr().out
