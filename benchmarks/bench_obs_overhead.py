@@ -1,0 +1,188 @@
+"""Infrastructure benchmark — observability overhead on a live campaign.
+
+Measures what lifecycle tracing and the riding SLO/health monitor cost a
+``scaled_phase1`` campaign against the instrumentation-free baseline:
+
+* **baseline** — no tracer, no monitor (the DES fast path end to end);
+* **lifecycle** — a ring-buffer tracer on the ``server``/``agent``/
+  ``fault`` channels (the spans/post-mortem input; the ``des`` channel
+  stays off, so the kernel keeps its fast path);
+* **lifecycle+health** — the same tracer with a :class:`HealthMonitor`
+  teed into the sink (P² sketches + SLO rules evaluated per event).
+
+The project target is < 5 % overhead over tracing disabled; the bench
+records honestly whether each variant met it (``target_met``).  On a
+scale-reduced campaign the overhead *fraction* is dominated by how many
+events the simulated work emits per wall-millisecond — a property of
+the workload, not of the emission path — so the enforced regression
+thresholds are (a) the **marginal cost per emitted event** in
+microseconds and (b) a generous ceiling on the overhead fraction that
+only trips on a gross (several-fold) regression of the emit/observe
+chain.  Bit-identity of the campaign outcome across all three variants
+is asserted outright.
+
+Records machine-readable results under ``benchmarks/artifacts/`` and as
+``BENCH_obs.json`` at the repo root.
+
+Smoke mode: set ``REPRO_BENCH_SMOKE=1`` to shrink the campaign ~8x; the
+file then runs in a couple of seconds and still fails on a gross
+per-event-cost regression.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from repro.boinc.simulator import scaled_phase1
+from repro.obs.tracer import RingSink, Tracer
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: campaign size; smoke trades event count for wall time (~1k events vs ~13k)
+CAMPAIGN_SCALE = 700 if SMOKE else 100
+CAMPAIGN_PROTEINS = 6 if SMOKE else 24
+TIMING_REPEATS = 3 if SMOKE else 5
+
+#: the lifecycle channels the span reconstructor consumes.  ``des`` is
+#: deliberately absent: the simulator hands the kernel no tracer at all
+#: when the filter excludes it, keeping the DES fast path.
+LIFECYCLE_CHANNELS = ("server", "agent", "fault")
+
+#: the stated project target — recorded, not enforced (see module docstring)
+TARGET_FRACTION = 0.05
+
+#: enforced ceilings.  Per-event marginal cost is the real invariant of
+#: the emit/observe chain (~2 us measured for plain tracing, ~10 us with
+#: the health monitor teed in); the ceilings are sized ~2x above measured
+#: so they trip on a real regression, not on a loaded CI machine, and
+#: the fraction ceiling is a gross-regression backstop sized to the known
+#: event density of the workload, not a performance claim.
+MAX_US_PER_EVENT = 25.0 if SMOKE else 20.0
+MAX_OVERHEAD_FRACTION = 4.0 if SMOKE else 3.0
+
+
+def _run(tracer=None, health=None):
+    return scaled_phase1(
+        scale=CAMPAIGN_SCALE,
+        n_proteins=CAMPAIGN_PROTEINS,
+        tracer=tracer,
+        health=health,
+    ).run()
+
+
+def _best_of(make_kwargs):
+    """Best-of-N wall time; returns (seconds, last result, last tracer)."""
+    best = float("inf")
+    result = tracer = None
+    for _ in range(TIMING_REPEATS):
+        kwargs = make_kwargs()
+        t0 = perf_counter()
+        result = _run(**kwargs)
+        best = min(best, perf_counter() - t0)
+        tracer = kwargs.get("tracer")
+    return best, result, tracer
+
+
+VARIANTS = [
+    ("baseline", lambda: {}),
+    (
+        "lifecycle",
+        lambda: {
+            "tracer": Tracer(
+                sink=RingSink(capacity=2_000_000), channels=LIFECYCLE_CHANNELS
+            )
+        },
+    ),
+    (
+        "lifecycle+health",
+        lambda: {
+            "tracer": Tracer(
+                sink=RingSink(capacity=2_000_000), channels=LIFECYCLE_CHANNELS
+            ),
+            "health": True,
+        },
+    ),
+]
+
+
+def test_bench_obs_overhead(record_artifact, record_bench_json):
+    rows = {}
+    results = {}
+    base_s = None
+    for name, make_kwargs in VARIANTS:
+        wall_s, result, tracer = _best_of(make_kwargs)
+        n_events = tracer.n_events if tracer is not None else 0
+        if base_s is None:
+            base_s = wall_s
+        overhead = wall_s / base_s - 1.0
+        us_per_event = (
+            (wall_s - base_s) / n_events * 1e6 if n_events else 0.0
+        )
+        results[name] = result
+        rows[name] = {
+            "wall_seconds": wall_s,
+            "n_events": n_events,
+            "overhead_fraction": overhead,
+            "us_per_event": us_per_event,
+            "target_met": overhead < TARGET_FRACTION,
+        }
+
+    # The monitor must not perturb the campaign: identical outcomes
+    # across all three variants (the health channel never reaches the
+    # lifecycle stream, and the monitor draws no randomness).
+    base = results["baseline"]
+    for name, result in results.items():
+        assert result.completion_time == base.completion_time, name
+        assert result.server.stats.disclosed == base.server.stats.disclosed, name
+        assert result.server.stats.effective == base.server.stats.effective, name
+
+    lines = [
+        f"campaign scale={CAMPAIGN_SCALE} n_proteins={CAMPAIGN_PROTEINS} "
+        f"(smoke={SMOKE}, best of {TIMING_REPEATS})",
+        f"{'variant':<18}{'wall ms':>10}{'events':>9}{'overhead':>10}"
+        f"{'us/event':>10}{'<5%':>6}",
+    ]
+    for name, row in rows.items():
+        lines.append(
+            f"{name:<18}{row['wall_seconds'] * 1e3:>10.2f}"
+            f"{row['n_events']:>9,}"
+            f"{row['overhead_fraction']:>9.1%}"
+            f"{row['us_per_event']:>10.2f}"
+            f"{'yes' if row['target_met'] else 'NO':>6}"
+        )
+    lines.append(
+        f"enforced: us/event < {MAX_US_PER_EVENT:.0f}, "
+        f"overhead < {MAX_OVERHEAD_FRACTION:.0%} (gross-regression backstop); "
+        f"recorded target: {TARGET_FRACTION:.0%}"
+    )
+    record_artifact("bench_obs_overhead", "\n".join(lines))
+    record_bench_json(
+        "obs",
+        {
+            "smoke": SMOKE,
+            "campaign": {
+                "scale": CAMPAIGN_SCALE,
+                "n_proteins": CAMPAIGN_PROTEINS,
+                "timing_repeats": TIMING_REPEATS,
+            },
+            "variants": rows,
+            "target_fraction": TARGET_FRACTION,
+            "max_us_per_event": MAX_US_PER_EVENT,
+            "max_overhead_fraction": MAX_OVERHEAD_FRACTION,
+            "outcome_bit_identical": True,
+        },
+        experiment="Tracing + health-monitor overhead on scaled_phase1",
+    )
+
+    for name, row in rows.items():
+        if name == "baseline":
+            continue
+        assert row["us_per_event"] < MAX_US_PER_EVENT, (
+            f"{name}: {row['us_per_event']:.2f} us/event "
+            f"(ceiling {MAX_US_PER_EVENT})"
+        )
+        assert row["overhead_fraction"] < MAX_OVERHEAD_FRACTION, (
+            f"{name}: {row['overhead_fraction']:.1%} overhead "
+            f"(backstop {MAX_OVERHEAD_FRACTION:.0%})"
+        )

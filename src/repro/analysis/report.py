@@ -11,7 +11,13 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["render_table", "render_histogram", "paper_vs_measured", "format_number"]
+__all__ = [
+    "render_table",
+    "render_markdown_table",
+    "render_histogram",
+    "paper_vs_measured",
+    "format_number",
+]
 
 
 def format_number(value: float | int | str) -> str:
@@ -53,6 +59,30 @@ def render_table(
     ]
     for row in cells:
         lines.append(" | ".join(v.ljust(w) for v, w in zip(row, widths)).rstrip())
+    return "\n".join(lines)
+
+
+def render_markdown_table(
+    headers: Sequence[str], rows: Sequence[Sequence[float | int | str]]
+) -> str:
+    """GitHub-flavoured markdown table (same cell formatting as
+    :func:`render_table`, so terminal and markdown reports agree).
+
+    >>> print(render_markdown_table(["a", "b"], [[1, 2.5]]))
+    | a | b |
+    | --- | --- |
+    | 1 | 2.5 |
+    """
+    cells = [[format_number(v) for v in row] for row in rows]
+    for row in cells:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "| " + " | ".join("---" for _ in headers) + " |",
+    ]
+    for row in cells:
+        lines.append("| " + " | ".join(row) + " |")
     return "\n".join(lines)
 
 

@@ -181,7 +181,7 @@ class VolunteerAgent:
         if self.tracer is not None:
             self.tracer.emit(
                 "agent.fetch", t_sim=self.sim.now,
-                host=self.spec.host_id, wu=wu.wu_id,
+                host=self.spec.host_id, wu=wu.wu_id, copy=instance.copy,
             )
         if self.rng.random() < self.spec.abandon_prob:
             # Volunteer walks away; the deadline will reclaim the copy and

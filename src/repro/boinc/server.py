@@ -67,6 +67,9 @@ class Instance:
     wu: WorkUnit
     host_id: int
     issued_at: float
+    #: per-workunit issue ordinal (0 for the first copy ever issued); the
+    #: span reconstructor uses it to tell copies of one workunit apart
+    copy: int = 0
     timeout_event: Event | None = None
     reported: bool = False
     #: the deadline passed before the report arrived (the copy was already
@@ -84,7 +87,7 @@ class _WorkunitState:
 
     __slots__ = (
         "wu", "batch", "n_valid", "n_valid_bad", "done", "failed",
-        "outstanding", "trusted_single", "reissues",
+        "outstanding", "trusted_single", "reissues", "issues",
     )
 
     def __init__(self, wu: WorkUnit, batch: int) -> None:
@@ -99,6 +102,7 @@ class _WorkunitState:
         #: adaptive replication issued this workunit as a single trusted copy
         self.trusted_single = False
         self.reissues = 0  #: times this workunit re-entered the issue queue
+        self.issues = 0  #: copies issued so far (the instance `copy` ordinal)
 
 
 class GridServer:
@@ -210,7 +214,11 @@ class GridServer:
         state = self._next_state(host_id)
         if state is None:
             return None
-        instance = Instance(wu=state.wu, host_id=host_id, issued_at=self.sim.now)
+        instance = Instance(
+            wu=state.wu, host_id=host_id, issued_at=self.sim.now,
+            copy=state.issues,
+        )
+        state.issues += 1
         state.outstanding += 1
         # Deadline timers share one fixed delay and are cancelled on report
         # in the vast majority of cases, so they go to the kernel's FIFO
@@ -222,6 +230,7 @@ class GridServer:
             self.tracer.emit(
                 "server.issue", t_sim=self.sim.now,
                 wu=state.wu.wu_id, host=host_id, batch=state.batch,
+                copy=instance.copy,
             )
         return instance
 
@@ -256,6 +265,7 @@ class GridServer:
                     "server.release", t_sim=self.sim.now,
                     wu=state.wu.wu_id, batch=state.batch,
                     replication=replication,
+                    receptor=state.wu.receptor, ligand=state.wu.ligand,
                 )
             return state
         return None
@@ -340,6 +350,7 @@ class GridServer:
                 "server.result", t_sim=self.sim.now,
                 wu=state.wu.wu_id, host=instance.host_id, valid=valid,
                 late=state.done, accounted_cpu_s=accounted_cpu_s,
+                copy=instance.copy,
             )
 
         adaptive = self.config.adaptive
@@ -372,7 +383,7 @@ class GridServer:
             self.stats.quorum_extra += state.n_valid + state.n_valid_bad - 1
             # Sabotaged copies that lost the comparison were caught.
             self.stats.sabotage_caught += state.n_valid_bad
-            self._validate(state, regime)
+            self._validate(state, regime, host=instance.host_id)
         elif state.n_valid_bad >= quorum:
             # Wrong-but-agreeing results met the quorum (or a single
             # sabotaged result passed the bounds check / adaptive trust):
@@ -383,7 +394,7 @@ class GridServer:
             else:
                 regime = "quorum" if quorum >= 2 else "bounds"
             self.stats.quorum_extra += state.n_valid + state.n_valid_bad - 1
-            self._validate(state, regime, tainted=True)
+            self._validate(state, regime, tainted=True, host=instance.host_id)
         elif state.outstanding == 0:
             # Waiting for a quorum partner nobody is computing: reissue.
             self._requeue(state, instance.host_id, "quorum-stall")
@@ -395,23 +406,31 @@ class GridServer:
         return state
 
     def _validate(
-        self, state: _WorkunitState, regime: str, tainted: bool = False
+        self,
+        state: _WorkunitState,
+        regime: str,
+        tainted: bool = False,
+        host: int | None = None,
     ) -> None:
         state.done = True
         self.stats.record_validation(state.wu.cost_reference_s, regime)
         if tainted:
             self.stats.bad_validated += 1
         if self.tracer is not None:
+            # `host` correlates the validation with the reporting host whose
+            # result closed the quorum (the span reconstructor's terminal
+            # lifecycle edge).
             if tainted:
                 self.tracer.emit(
                     "server.validate", t_sim=self.sim.now,
                     wu=state.wu.wu_id, batch=state.batch, regime=regime,
-                    tainted=True,
+                    tainted=True, host=host,
                 )
             else:
                 self.tracer.emit(
                     "server.validate", t_sim=self.sim.now,
                     wu=state.wu.wu_id, batch=state.batch, regime=regime,
+                    host=host,
                 )
         if self._on_workunit_valid is not None:
             self._on_workunit_valid(state.wu, self.sim.now)

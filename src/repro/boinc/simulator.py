@@ -41,6 +41,7 @@ import numpy as np
 from .. import constants
 from ..faults import FaultPlan, FaultReport
 from ..obs import MetricsRegistry, Profiler, Tracer
+from ..obs.health import HealthMonitor, HealthSink, NullSink, SLOReport
 from ..core.campaign import CampaignPlan
 from ..core.metrics import CampaignMetrics
 from ..core.packaging import PackagingPolicy, WorkUnitPlan
@@ -242,6 +243,9 @@ class CampaignResult:
     batch_completion_s: np.ndarray
     #: the fault plan the campaign ran under (empty = fault-free)
     faults: FaultPlan = FaultPlan.none()
+    #: the final SLO report when a health monitor rode the campaign
+    #: (``health=True``), else None
+    health: SLOReport | None = None
 
     @property
     def span_s(self) -> float:
@@ -305,11 +309,13 @@ class CampaignResult:
         sizes = np.cumsum([b for _, b in ordered])
         return times, sizes
 
-    def export(self, directory) -> list:
+    def export(self, directory, profiler: Profiler | None = None) -> list:
         """Dump the campaign telemetry as CSV/JSON artifacts.
 
         Writes daily series, weekly aggregates, the per-result run times
         and the final metrics into ``directory``; returns the paths.
+        Passing the campaign's :class:`~repro.obs.Profiler` additionally
+        writes its machine-readable dump as ``profile.json``.
         """
         from pathlib import Path
 
@@ -355,6 +361,10 @@ class CampaignResult:
             # Fault-free exports stay byte-identical: the error budget
             # only appears when a plan was active.
             payload["faults"] = self.fault_report().as_dict()
+        if self.health is not None:
+            # Same contract: the SLO report appears only when a monitor
+            # rode the campaign.
+            payload["health"] = self.health.as_dict()
         paths.append(
             export_json(
                 directory / "metrics.json",
@@ -362,6 +372,14 @@ class CampaignResult:
                 experiment="scaled phase-I campaign",
             )
         )
+        if profiler is not None:
+            paths.append(
+                export_json(
+                    directory / "profile.json",
+                    profiler.to_dict(),
+                    experiment="scaled phase-I campaign",
+                )
+            )
         return paths
 
 
@@ -389,6 +407,7 @@ class VolunteerGridSimulation:
         *,
         tracer: Tracer | None = None,
         profiler: Profiler | None = None,
+        health: "bool | HealthMonitor | None" = None,
         **legacy,
     ) -> None:
         if legacy:
@@ -415,6 +434,11 @@ class VolunteerGridSimulation:
         self.tracer = tracer
         #: per-callback and per-phase wall-time aggregation (opt-in)
         self.profiler = profiler
+        #: streaming SLO/health monitor riding the trace stream (opt-in;
+        #: ``health=True`` builds one with default thresholds)
+        if health is True:
+            health = HealthMonitor()
+        self.health = health if isinstance(health, HealthMonitor) else None
         self.packaging = (
             config.packaging
             if config.packaging is not None
@@ -485,9 +509,13 @@ class VolunteerGridSimulation:
         *,
         tracer: Tracer | None = None,
         profiler: Profiler | None = None,
+        health: "bool | HealthMonitor | None" = None,
     ) -> "VolunteerGridSimulation":
         """Build a simulation from a :class:`CampaignConfig` (no shim)."""
-        return cls(library, cost_model, config, tracer=tracer, profiler=profiler)
+        return cls(
+            library, cost_model, config,
+            tracer=tracer, profiler=profiler, health=health,
+        )
 
     # -- sizing ------------------------------------------------------------
 
@@ -546,8 +574,36 @@ class VolunteerGridSimulation:
 
     def run(self) -> CampaignResult:
         """Run the campaign to completion (or the horizon)."""
-        sim = Simulator(tracer=self.tracer, profiler=self.profiler)
-        telemetry = Telemetry(self.horizon_s, tracer=self.tracer)
+        tracer = self.tracer
+        restore_sink = None
+        if self.health is not None:
+            # Tee the trace stream into the monitor.  Without a
+            # user-supplied tracer, build a health-only one: events feed
+            # the monitor and are then discarded (NullSink), restricted to
+            # the lifecycle channels so the DES kernel's high-rate events
+            # skip the emit path entirely.
+            if tracer is None:
+                tracer = Tracer(
+                    sink=HealthSink(self.health, NullSink()),
+                    channels=("server", "agent", "fault", "health"),
+                )
+            else:
+                restore_sink = tracer.sink
+                tracer.sink = HealthSink(self.health, restore_sink)
+            self.health.bind(tracer)
+        # The kernel's vectorized fast path is only disabled by *its own*
+        # instrumentation: a tracer whose channel filter excludes ``des``
+        # would drop every kernel event anyway (they are all ``des.*``),
+        # so hand the kernel None and keep the fast path.
+        sim_tracer = tracer
+        if (
+            tracer is not None
+            and tracer.channels is not None
+            and "des" not in tracer.channels
+        ):
+            sim_tracer = None
+        sim = Simulator(tracer=sim_tracer, profiler=self.profiler)
+        telemetry = Telemetry(self.horizon_s, tracer=tracer)
         profiler = self.profiler if self.profiler is not None else Profiler()
 
         with profiler.timed("setup.workunits"):
@@ -580,8 +636,12 @@ class VolunteerGridSimulation:
             on_batch_complete=lambda batch, t: telemetry.record_shipment(
                 t, batch_bytes[batch]
             ),
-            tracer=self.tracer,
+            tracer=tracer,
         )
+        if self.health is not None:
+            self.health.configure_campaign(
+                len(workunits), self.server_config.max_reissues
+            )
 
         with profiler.timed("setup.hosts"):
             arrivals = self._host_arrival_times()
@@ -600,7 +660,7 @@ class VolunteerGridSimulation:
                     telemetry,
                     rng=substream(self.seed, "agent", idx),
                     accounting=self.accounting,
-                    tracer=self.tracer,
+                    tracer=tracer,
                 )
                 agents.append(agent)
                 starts.append((float(join_t), agent.start))
@@ -610,6 +670,16 @@ class VolunteerGridSimulation:
 
         with profiler.timed("des.run"):
             sim.run(until=self.horizon_s)
+
+        health_report = None
+        if self.health is not None:
+            health_report = self.health.finalize(
+                server.completion_time
+                if server.completion_time is not None
+                else self.horizon_s
+            )
+            if restore_sink is not None:
+                tracer.sink = restore_sink  # unwrap: the tracer outlives us
 
         n_batches = len(self.library)
         batch_completion = np.full(n_batches, np.nan)
@@ -625,6 +695,7 @@ class VolunteerGridSimulation:
             release_order=self.campaign.release_order.copy(),
             batch_completion_s=batch_completion,
             faults=self.faults,
+            health=health_report,
         )
 
 
@@ -637,6 +708,7 @@ def scaled_phase1(
     config: CampaignConfig | None = None,
     tracer: Tracer | None = None,
     profiler: Profiler | None = None,
+    health: "bool | HealthMonitor | None" = None,
     **kwargs,
 ) -> VolunteerGridSimulation:
     """A phase-I-like campaign shrunk by ``scale``.
@@ -675,5 +747,6 @@ def scaled_phase1(
     if kwargs:
         config = config.with_(**kwargs)
     return VolunteerGridSimulation(
-        library, cost_model, config, tracer=tracer, profiler=profiler
+        library, cost_model, config,
+        tracer=tracer, profiler=profiler, health=health,
     )

@@ -9,12 +9,19 @@
     repro-hcmd project --weeks 40        # phase-II projection, Section 7
     repro-hcmd capacity --devices 836000 # server-capacity check, Section 3.2
     repro-hcmd trace campaign.jsonl      # replay a structured event trace
+    repro-hcmd trace diff a.jsonl b.jsonl  # align two runs, report divergence
+    repro-hcmd report --trace campaign.jsonl  # span-level post-mortem
 
 Every command prints plain-text tables via :mod:`repro.analysis.report`.
-``simulate --trace PATH`` records a structured JSONL event trace and
-``simulate --profile`` prints per-callback wall-time aggregation; the
-``trace`` subcommand turns a recorded trace into a summary table and a
-human-readable timeline (see docs/observability.md).
+``simulate --trace PATH`` records a structured JSONL event trace,
+``simulate --profile`` prints per-callback wall-time aggregation,
+``simulate --health`` rides a streaming SLO monitor on the campaign and
+``simulate --report`` prints the span-level post-mortem right after the
+run; the ``trace`` subcommand turns a recorded trace into a summary table
+and a human-readable timeline (``--workunit``/``--host`` follow one
+workunit or host through its lifecycle), and ``report --trace`` renders
+the full campaign post-mortem from a recorded trace (``--markdown`` for
+a GitHub-flavoured report).  See docs/observability.md.
 """
 
 from __future__ import annotations
@@ -84,6 +91,17 @@ def build_parser() -> argparse.ArgumentParser:
              "maxreissue=10' (see repro.faults.FaultPlan.from_spec); "
              "prints the campaign error budget after the metrics",
     )
+    simu.add_argument(
+        "--health", action="store_true",
+        help="ride a streaming SLO/health monitor on the campaign "
+             "(P2 latency sketches + breach/clear rules) and print the "
+             "final SLO report",
+    )
+    simu.add_argument(
+        "--report", action="store_true",
+        help="print the span-level campaign post-mortem after the run "
+             "(workunit lifecycles reconstructed from the event stream)",
+    )
 
     sub.add_parser("compare", help="Table 2: volunteer vs dedicated grid")
 
@@ -99,8 +117,20 @@ def build_parser() -> argparse.ArgumentParser:
     cap.add_argument("--devices", type=float, default=float(C.WCG_DEVICES))
     cap.add_argument("--hours", type=float, default=3.3, help="workunit target")
 
-    sub.add_parser(
-        "report", help="the whole reproduction, paper vs measured, one page"
+    rep = sub.add_parser(
+        "report", help="the whole reproduction, paper vs measured, one page "
+                       "— or, with --trace, a span-level campaign post-mortem"
+    )
+    rep.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="render a campaign post-mortem (phase throughput, latency "
+             "percentiles, critical-path couples) from a recorded JSONL "
+             "trace instead of the paper-vs-measured page",
+    )
+    rep.add_argument(
+        "--markdown", action="store_true",
+        help="render the post-mortem as GitHub-flavoured markdown "
+             "(only with --trace)",
     )
 
     part = sub.add_parser(
@@ -120,9 +150,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     trace = sub.add_parser(
-        "trace", help="summarize a structured JSONL campaign trace"
+        "trace", help="summarize a structured JSONL campaign trace, or "
+                      "diff two runs: `trace diff A.jsonl B.jsonl`"
     )
-    trace.add_argument("path", help="JSONL trace (from `simulate --trace`)")
+    trace.add_argument(
+        "path", nargs="+",
+        help="JSONL trace (from `simulate --trace`), or `diff A B` to "
+             "align two traces by workunit and report divergence",
+    )
     trace.add_argument(
         "--limit", type=int, default=20,
         help="max timeline lines (head + tail; default 20)",
@@ -130,7 +165,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--channel", default=None,
         help="restrict the timeline to one channel (des, server, agent, "
-             "fault, docking, telemetry)",
+             "fault, docking, telemetry, health)",
+    )
+    trace.add_argument(
+        "--workunit", type=int, default=None, metavar="WU",
+        help="follow one workunit id through its lifecycle "
+             "(issue/fetch/compute/report/validate)",
+    )
+    trace.add_argument(
+        "--host", type=int, default=None,
+        help="restrict the timeline to one host id",
     )
     return parser
 
@@ -185,6 +229,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .obs import Profiler, Tracer
 
     tracer = None
+    ring = None
     if args.trace is not None:
         channels = (
             [c.strip() for c in args.trace_channels.split(",") if c.strip()]
@@ -192,6 +237,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             else None
         )
         tracer = Tracer.to_jsonl(args.trace, channels=channels)
+    elif args.report:
+        # The post-mortem reconstructs workunit lifecycles from the event
+        # stream; without --trace, buffer the lifecycle channels in memory.
+        from .obs import RingSink
+
+        ring = RingSink(capacity=4_000_000)
+        tracer = Tracer(
+            sink=ring, channels=("server", "agent", "fault", "health")
+        )
     profiler = Profiler() if args.profile else None
     faults = (
         FaultPlan.from_spec(args.faults)
@@ -209,11 +263,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config=config,
         tracer=tracer,
         profiler=profiler,
+        health=args.health,
     )
     try:
         result = sim.run()
     finally:
-        if tracer is not None:
+        if tracer is not None and ring is None:
             tracer.close()
     metrics = result.metrics()
     weeks = result.completion_weeks
@@ -231,7 +286,26 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if faults.enabled:
         print("\nerror budget (fault injection):")
         print(render_table(["quantity", "value"], result.fault_report().rows()))
-    if tracer is not None:
+    if args.health and result.health is not None:
+        print()
+        print(result.health.render())
+    if args.report:
+        from .obs.postmortem import CampaignReport
+
+        fault_rows = result.fault_report().rows() if faults.enabled else None
+        if ring is not None:
+            report = CampaignReport.from_events(
+                ring.events, health=result.health,
+                fault_rows=fault_rows, source="live run",
+            )
+        else:
+            tracer.close()
+            report = CampaignReport.from_trace(args.trace)
+            report.health = result.health
+            report.fault_rows = fault_rows
+        print()
+        print(report.render())
+    if args.trace is not None:
         print(f"\ntrace: {tracer.n_events:,} events -> {args.trace} "
               f"(summarize with `repro-hcmd trace {args.trace}`)")
     if profiler is not None:
@@ -241,24 +315,54 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_trace(args: argparse.Namespace) -> int:
-    from .obs import format_timeline, read_trace, summarize_trace
+    from .obs import format_timeline, iter_trace, summarize_trace
+    from .obs.replay import filter_events
 
-    events = read_trace(args.path)
-    summary = summarize_trace(events)
+    if args.path[0] == "diff":
+        from .obs.postmortem import diff_traces
+
+        if len(args.path) != 3:
+            print("usage: repro-hcmd trace diff A.jsonl B.jsonl",
+                  file=sys.stderr)
+            return 2
+        diff = diff_traces(args.path[1], args.path[2])
+        print(diff.render())
+        return 0 if diff.identical else 1
+    if len(args.path) != 1:
+        print("usage: repro-hcmd trace PATH (or: trace diff A B)",
+              file=sys.stderr)
+        return 2
+    path = args.path[0]
+
+    def selected():
+        # Stream from disk on every pass: the trace is never resident.
+        return filter_events(
+            iter_trace(path), workunit=args.workunit, host=args.host
+        )
+
+    summary = summarize_trace(selected())
     span = summary.sim_span_days
-    print(render_table(["quantity", "value"], [
+    selection = [
+        f"{name}={value}"
+        for name, value in (("workunit", args.workunit), ("host", args.host))
+        if value is not None
+    ]
+    rows = [
         ["events", summary.n_events],
         ["event types", len(summary.by_type)],
         ["channels", ", ".join(sorted(summary.by_channel)) or "-"],
         ["simulated span", f"{span:.1f} days" if span is not None else "-"],
-    ]))
+    ]
+    if selection:
+        rows.insert(0, ["selection", ", ".join(selection)])
+    print(render_table(["quantity", "value"], rows))
     if summary.by_type:
         print()
         print(render_table(
             ["event type", "channel", "count"],
             [list(row) for row in summary.rows()],
         ))
-    lines = format_timeline(events, limit=args.limit, channel=args.channel)
+    lines = format_timeline(selected(), limit=args.limit, channel=args.channel)
     if lines:
         print()
         print("\n".join(lines))
@@ -318,6 +422,14 @@ def _cmd_capacity(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
+    if args.trace is not None:
+        from .obs.postmortem import CampaignReport
+
+        print(CampaignReport.from_trace(args.trace).render(
+            markdown=args.markdown
+        ))
+        return 0
+
     from .analysis.summary import full_report
 
     print(full_report(seed=args.seed))

@@ -122,6 +122,23 @@ class CampaignMetrics:
         """One Table 2 row: (VFTP, dedicated-grid processors)."""
         return (round(self.vftp), round(self.dedicated_equivalent))
 
+    def as_dict(self) -> dict[str, float]:
+        """JSON-safe dump: the raw accounting plus every derived metric
+        (what campaign reports and span reconciliation compare against)."""
+        return {
+            "span_seconds": self.span_seconds,
+            "consumed_cpu_s": self.consumed_cpu_s,
+            "useful_reference_cpu_s": self.useful_reference_cpu_s,
+            "results_disclosed": self.results_disclosed,
+            "results_effective": self.results_effective,
+            "vftp": self.vftp,
+            "redundancy": self.redundancy,
+            "useful_result_fraction": self.useful_result_fraction,
+            "speed_down_raw": self.speed_down_raw,
+            "speed_down_net": self.speed_down_net,
+            "dedicated_equivalent": self.dedicated_equivalent,
+        }
+
     @property
     def cpu_days_per_day(self) -> float:
         """CPU-days delivered per wall-clock day (the VFTP definition)."""

@@ -15,7 +15,17 @@ this subpackage is the shared substrate every layer records it through:
 * :mod:`repro.obs.replay` — trace summaries and timelines behind the
   ``repro-hcmd trace`` subcommand;
 * :mod:`repro.obs.events` — the versioned event taxonomy, enforced at
-  emit time and kept consistent with docs/observability.md by a test.
+  emit time and kept consistent with docs/observability.md by a test;
+* :mod:`repro.obs.spans` — causal span reconstruction: the flat trace
+  folded into one lifecycle tree per workunit, with critical-path
+  extraction and straggler analysis;
+* :mod:`repro.obs.health` — a streaming health monitor (P² latency
+  sketches + SLO rules with breach/clear hysteresis) riding the trace
+  stream during a simulation;
+* :mod:`repro.obs.quantiles` — the P² (Jain–Chlamtac) streaming
+  quantile estimator behind the health sketches;
+* :mod:`repro.obs.postmortem` — campaign report rendering and
+  ``trace diff`` run alignment behind the CLI.
 
 Enable tracing on a campaign::
 
@@ -31,15 +41,26 @@ examples.
 """
 
 from .events import CHANNELS, EVENT_TYPES, TRACE_SCHEMA_VERSION, channel_of
-from .metrics import Counter, DailySeries, Gauge, Histogram, MetricsRegistry
+from .health import HealthMonitor, HealthSink, SLOConfig, SLOReport
+from .metrics import (
+    Counter,
+    DailySeries,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+)
 from .profile import Profiler
+from .quantiles import P2Quantile
 from .replay import TraceSummary, format_timeline, summarize_trace
+from .spans import SpanCampaign, SpanReconstructor, reconstruct, reconstruct_file
 from .tracer import (
     JsonlSink,
     RingSink,
     TraceEvent,
     Tracer,
     global_tracer,
+    iter_trace,
     read_trace,
     set_global_tracer,
     tracing,
@@ -50,20 +71,31 @@ __all__ = [
     "EVENT_TYPES",
     "TRACE_SCHEMA_VERSION",
     "channel_of",
+    "HealthMonitor",
+    "HealthSink",
+    "SLOConfig",
+    "SLOReport",
     "Counter",
     "DailySeries",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "QuantileSketch",
+    "P2Quantile",
     "Profiler",
     "TraceSummary",
     "format_timeline",
     "summarize_trace",
+    "SpanCampaign",
+    "SpanReconstructor",
+    "reconstruct",
+    "reconstruct_file",
     "JsonlSink",
     "RingSink",
     "TraceEvent",
     "Tracer",
     "global_tracer",
+    "iter_trace",
     "read_trace",
     "set_global_tracer",
     "tracing",

@@ -66,11 +66,17 @@ EVENT_TYPES: dict[str, str] = {
     # -- telemetry (repro.boinc.simulator) ---------------------------------
     "telemetry.clamp": "a telemetry sample fell outside the campaign horizon "
                        "and was clamped to the edge day",
+    # -- streaming health monitor (repro.obs.health) ------------------------
+    "health.slo_breach": "an SLO rule entered breach "
+                         "(`rule` = queue-starvation | deadline-storm | "
+                         "reissue-burn | validation-backlog)",
+    "health.slo_clear": "a previously-breached SLO rule recovered (`rule`, "
+                        "`breached_s` = simulated seconds spent in breach)",
 }
 
 #: The per-subsystem channels, in taxonomy order.
 CHANNELS: tuple[str, ...] = (
-    "des", "server", "agent", "fault", "docking", "telemetry"
+    "des", "server", "agent", "fault", "docking", "telemetry", "health"
 )
 
 

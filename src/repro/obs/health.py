@@ -1,0 +1,398 @@
+"""Streaming campaign health: quantile sketches and SLO rules.
+
+A :class:`HealthMonitor` rides the trace stream *during* a simulation —
+attached as a :class:`HealthSink` wrapped around the tracer's sink, so it
+sees every ``server.*`` / ``agent.*`` / ``fault.*`` event with zero extra
+emit sites — and maintains:
+
+- **P² quantile sketches** (:mod:`repro.obs.quantiles`) over the span
+  latencies the offline reconstructor measures exactly: workunit makespan
+  (release → validate), result latency (issue → result), report delay and
+  device active hours.  O(1) memory per sketch; within ~2 % of the exact
+  offline percentiles (pinned by ``tests/test_obs_spans.py``).
+- **SLO rules** with breach/clear hysteresis, each emitting
+  ``health.slo_breach`` / ``health.slo_clear`` trace events on transition:
+
+  ========================  ==============================================
+  rule                      breach condition (defaults in :class:`SLOConfig`)
+  ========================  ==============================================
+  ``queue-starvation``      idle agent polls in a sliding day exceed a cap
+  ``deadline-storm``        deadline reissues in a sliding week exceed a cap
+  ``reissue-burn``          cumulative reissues burn the campaign budget
+  ``validation-backlog``    workunits stuck awaiting a quorum partner
+  ========================  ==============================================
+
+The monitor owns a private :class:`MetricsRegistry` so campaign telemetry
+exports stay byte-identical with the monitor attached, and it never
+touches simulation state or RNG streams — a health-monitored campaign is
+bit-identical in outcome to an unmonitored one (golden-digest pinned).
+
+:meth:`HealthMonitor.finalize` closes open breaches and renders the
+final :class:`SLOReport` attached to ``CampaignResult.health``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any
+
+from .metrics import MetricsRegistry
+from .tracer import TraceEvent, Tracer
+
+__all__ = [
+    "SLOConfig",
+    "SLORule",
+    "SLOReport",
+    "HealthMonitor",
+    "HealthSink",
+    "NullSink",
+]
+
+SECONDS_PER_DAY = 86_400.0
+SECONDS_PER_WEEK = 7 * SECONDS_PER_DAY
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Thresholds and windows for the built-in SLO rules."""
+
+    #: ``queue-starvation``: breach when this many ``agent.idle`` polls
+    #: land inside the sliding window (hosts outnumber available work)
+    starvation_window_s: float = SECONDS_PER_DAY
+    starvation_idle_polls: int = 200
+    #: ``deadline-storm``: breach when this many deadline reissues land
+    #: inside the sliding window (straggler hosts shedding copies)
+    deadline_window_s: float = SECONDS_PER_WEEK
+    deadline_reissues: int = 25
+    #: ``reissue-burn``: breach when cumulative reissues exceed this
+    #: fraction of the campaign budget (``max_reissues`` x workunits;
+    #: an unbounded server falls back to ``fallback_reissues_per_wu``)
+    burn_fraction: float = 0.75
+    fallback_reissues_per_wu: float = 2.0
+    #: ``validation-backlog``: breach when this many workunits hold a
+    #: valid result but are still waiting on a quorum partner
+    backlog_workunits: int = 50
+    #: hysteresis: a breached rule clears once its level drops to this
+    #: fraction of the breach threshold
+    clear_fraction: float = 0.5
+
+
+class SLORule:
+    """One rule's breach/clear state machine with time accounting.
+
+    ``update(t, level)`` compares the instantaneous level against the
+    thresholds: breach at ``level >= threshold``, clear at
+    ``level <= threshold * clear_fraction`` (hysteresis keeps a rule from
+    flapping around the boundary).  Transitions are reported to the
+    monitor, which emits the ``health.slo_breach`` / ``health.slo_clear``
+    trace events; the rule accumulates breach count and breached seconds
+    for the final report.
+    """
+
+    def __init__(self, name: str, threshold: float, clear_fraction: float) -> None:
+        self.name = name
+        self.threshold = threshold
+        self.clear_level = threshold * clear_fraction
+        self.breached = False
+        self.t_breach: float | None = None
+        self.n_breaches = 0
+        self.breached_s = 0.0
+        self.peak_level = 0.0
+
+    def update(self, t: float, level: float, monitor: "HealthMonitor") -> None:
+        self.peak_level = max(self.peak_level, level)
+        if not self.breached and level >= self.threshold:
+            self.breached = True
+            self.t_breach = t
+            self.n_breaches += 1
+            monitor._emit_breach(t, self.name, level, self.threshold)
+        elif self.breached and level <= self.clear_level:
+            self.breached = False
+            duration = t - (self.t_breach or t)
+            self.breached_s += duration
+            self.t_breach = None
+            monitor._emit_clear(t, self.name, duration)
+
+    def close(self, t_end: float) -> None:
+        """Account a still-open breach at the campaign horizon."""
+        if self.breached and self.t_breach is not None:
+            self.breached_s += max(0.0, t_end - self.t_breach)
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "threshold": self.threshold,
+            "breaches": self.n_breaches,
+            "breached_s": self.breached_s,
+            "breached_at_end": self.breached,
+            "peak_level": self.peak_level,
+        }
+
+
+class HealthMonitor:
+    """Fold trace events into live health state (sketches + SLO rules)."""
+
+    #: sketch-tracked latencies: registry metric name -> help string
+    SKETCHES = {
+        "health.makespan_s": "workunit makespan (release -> validate), seconds",
+        "health.result_latency_s": "issue -> result latency per attempt, seconds",
+        "health.report_delay_s": "compute-complete -> server receipt, seconds",
+        "health.active_hours": "device-side active compute per result, hours",
+    }
+
+    def __init__(
+        self,
+        config: SLOConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config if config is not None else SLOConfig()
+        #: private registry: campaign telemetry exports must stay
+        #: byte-identical with the monitor attached
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer: Tracer | None = None
+        self.sketches = {
+            name: self.registry.quantiles(name, help=text)
+            for name, text in self.SKETCHES.items()
+        }
+        cfg = self.config
+        self.rules = {
+            "queue-starvation": SLORule(
+                "queue-starvation", cfg.starvation_idle_polls, cfg.clear_fraction
+            ),
+            "deadline-storm": SLORule(
+                "deadline-storm", cfg.deadline_reissues, cfg.clear_fraction
+            ),
+            "reissue-burn": SLORule(
+                "reissue-burn", cfg.burn_fraction, cfg.clear_fraction
+            ),
+            "validation-backlog": SLORule(
+                "validation-backlog", cfg.backlog_workunits, cfg.clear_fraction
+            ),
+        }
+        # correlation state (bounded by in-flight work, not trace length)
+        self._t_release: dict[int, float] = {}
+        self._t_issue: dict[tuple[int, int], float] = {}
+        self._pending_quorum: set[int] = set()
+        self._idle_window: deque[float] = deque()
+        self._deadline_window: deque[float] = deque()
+        self._reissues_total = 0
+        self._reissue_budget: float | None = None
+        self.t_last = 0.0
+        self.n_observed = 0
+
+    def bind(self, tracer: Tracer) -> None:
+        """Attach the tracer used to emit ``health.*`` transition events."""
+        self.tracer = tracer
+
+    def configure_campaign(
+        self, n_workunits: int, max_reissues: int | None
+    ) -> None:
+        """Size the reissue-burn budget from the campaign shape."""
+        per_wu = (
+            float(max_reissues)
+            if max_reissues is not None
+            else self.config.fallback_reissues_per_wu
+        )
+        self._reissue_budget = max(1.0, per_wu * n_workunits)
+
+    # -- event fold ----------------------------------------------------------
+
+    def observe(self, event: TraceEvent) -> None:
+        t = event.t_sim
+        if t is None:
+            return
+        self.n_observed += 1
+        self.t_last = t
+        f = event.fields
+        etype = event.etype
+        if etype == "server.release":
+            self._t_release[f["wu"]] = t
+        elif etype == "server.issue":
+            self._t_issue[(f["wu"], f.get("copy", 0))] = t
+        elif etype == "server.result":
+            issued = self._t_issue.pop((f["wu"], f.get("copy", 0)), None)
+            if issued is not None:
+                self.sketches["health.result_latency_s"].observe(t - issued)
+            self.registry.counter("health.results").inc()
+            if f.get("valid") and not f.get("late"):
+                self._pending_quorum.add(f["wu"])
+                self._rule_update("validation-backlog", t)
+        elif etype == "server.validate":
+            released = self._t_release.pop(f["wu"], None)
+            if released is not None:
+                self.sketches["health.makespan_s"].observe(t - released)
+            self.registry.counter("health.validated").inc()
+            self._pending_quorum.discard(f["wu"])
+            self._rule_update("validation-backlog", t)
+        elif etype == "server.workunit_failed":
+            self.registry.counter("health.workunits_failed").inc()
+            self._t_release.pop(f["wu"], None)
+            self._pending_quorum.discard(f["wu"])
+            self._rule_update("validation-backlog", t)
+        elif etype == "server.reissue":
+            self._reissues_total += 1
+            self.registry.counter("health.reissues").inc()
+            if f.get("reason") == "deadline":
+                self._deadline_window.append(t)
+            self._rule_update("deadline-storm", t)
+            self._rule_update("reissue-burn", t)
+        elif etype == "agent.complete":
+            delay = f.get("report_delay_s")
+            if delay is not None:
+                self.sketches["health.report_delay_s"].observe(delay)
+            active = f.get("active_s")
+            if active is not None:
+                self.sketches["health.active_hours"].observe(active / 3600.0)
+        elif etype == "agent.idle":
+            self.registry.counter("health.idle_polls").inc()
+            self._idle_window.append(t)
+            self._rule_update("queue-starvation", t)
+
+    def _rule_update(self, name: str, t: float) -> None:
+        cfg = self.config
+        if name == "queue-starvation":
+            window = self._idle_window
+            while window and window[0] < t - cfg.starvation_window_s:
+                window.popleft()
+            level: float = len(window)
+        elif name == "deadline-storm":
+            window = self._deadline_window
+            while window and window[0] < t - cfg.deadline_window_s:
+                window.popleft()
+            level = len(window)
+        elif name == "reissue-burn":
+            if self._reissue_budget is None:
+                return
+            level = self._reissues_total / self._reissue_budget
+        else:  # validation-backlog
+            level = len(self._pending_quorum)
+        self.rules[name].update(t, level, self)
+
+    def _emit_breach(
+        self, t: float, rule: str, level: float, threshold: float
+    ) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                "health.slo_breach", t_sim=t,
+                rule=rule, level=level, threshold=threshold,
+            )
+
+    def _emit_clear(self, t: float, rule: str, breached_s: float) -> None:
+        if self.tracer is not None:
+            self.tracer.emit(
+                "health.slo_clear", t_sim=t, rule=rule, breached_s=breached_s,
+            )
+
+    # -- finalization --------------------------------------------------------
+
+    def finalize(self, t_end: float | None = None) -> "SLOReport":
+        horizon = t_end if t_end is not None else self.t_last
+        for rule in self.rules.values():
+            rule.close(horizon)
+        return SLOReport(
+            t_end=horizon,
+            n_observed=self.n_observed,
+            rules={name: rule.as_dict() for name, rule in self.rules.items()},
+            latencies={
+                name: sketch.as_dict() for name, sketch in self.sketches.items()
+            },
+            counters={
+                name: self.registry.get(name).value
+                for name in self.registry.names()
+                if getattr(self.registry.get(name), "kind", None) == "counter"
+            },
+        )
+
+
+@dataclass
+class SLOReport:
+    """The final health verdict of one campaign (JSON-safe)."""
+
+    t_end: float
+    n_observed: int
+    rules: dict[str, dict[str, Any]] = field(default_factory=dict)
+    latencies: dict[str, dict[str, Any]] = field(default_factory=dict)
+    counters: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def breached_rules(self) -> list[str]:
+        """Rules that breached at least once, sorted by time in breach."""
+        hit = [(r["breached_s"], name) for name, r in self.rules.items()
+               if r["breaches"] > 0]
+        return [name for _, name in sorted(hit, reverse=True)]
+
+    @property
+    def healthy(self) -> bool:
+        return not self.breached_rules
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "t_end": self.t_end,
+            "n_observed": self.n_observed,
+            "healthy": self.healthy,
+            "rules": self.rules,
+            "latencies": self.latencies,
+            "counters": self.counters,
+        }
+
+    def render(self) -> str:
+        """A compact terminal SLO summary."""
+        lines = [
+            "SLO report: "
+            + ("healthy" if self.healthy
+               else "breached (" + ", ".join(self.breached_rules) + ")")
+        ]
+        lines.append(
+            f"  {'rule':<20} {'breaches':>8} {'in-breach':>12} {'peak':>10} "
+            f"{'threshold':>10}"
+        )
+        for name, r in sorted(self.rules.items()):
+            in_breach = r["breached_s"]
+            lines.append(
+                f"  {name:<20} {r['breaches']:>8d} {in_breach / 3600.0:>10.1f} h "
+                f"{r['peak_level']:>10.2f} {r['threshold']:>10.2f}"
+            )
+        lines.append("  latency percentiles (streaming P2):")
+        for name, sk in sorted(self.latencies.items()):
+            if not sk.get("count"):
+                continue
+            est = sk.get("estimates", {})
+            rendered = "  ".join(
+                f"{q}={est[q]:,.1f}" for q in sorted(est)
+            )
+            lines.append(f"    {name:<26} n={sk['count']:<7d} {rendered}")
+        return "\n".join(lines)
+
+
+class NullSink:
+    """Discard every event (health-only tracing keeps no trace buffer)."""
+
+    def append(self, event: TraceEvent) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class HealthSink:
+    """Tee a tracer's event stream into a :class:`HealthMonitor`.
+
+    Wraps the tracer's real sink: every event is forwarded to the inner
+    sink unchanged, and non-``health`` events additionally feed the
+    monitor.  The ``health`` channel is excluded from monitoring because
+    the monitor itself emits on it (through the same tracer) while
+    handling an event — forwarding those without re-entering
+    :meth:`HealthMonitor.observe` keeps the fold from recursing.
+    """
+
+    def __init__(self, monitor: HealthMonitor, inner) -> None:
+        self.monitor = monitor
+        self.inner = inner
+
+    def append(self, event: TraceEvent) -> None:
+        self.inner.append(event)
+        if event.channel != "health":
+            self.monitor.observe(event)
+
+    def close(self) -> None:
+        self.inner.close()

@@ -21,7 +21,16 @@ from typing import Any, Iterable, Mapping
 
 import numpy as np
 
-__all__ = ["Counter", "Gauge", "Histogram", "DailySeries", "MetricsRegistry"]
+from .quantiles import QuantileSketch
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DailySeries",
+    "QuantileSketch",
+    "MetricsRegistry",
+]
 
 
 class Counter:
@@ -188,6 +197,17 @@ class MetricsRegistry:
     ) -> DailySeries:
         return self._get_or_create(
             name, DailySeries, lambda: DailySeries(name, n_days, dtype, help)
+        )
+
+    def quantiles(
+        self,
+        name: str,
+        quantiles: Iterable[float] = QuantileSketch.DEFAULT_QUANTILES,
+        help: str = "",
+    ) -> QuantileSketch:
+        """A streaming P² quantile sketch (see :mod:`repro.obs.quantiles`)."""
+        return self._get_or_create(
+            name, QuantileSketch, lambda: QuantileSketch(name, quantiles, help)
         )
 
     def get(self, name: str) -> Any:

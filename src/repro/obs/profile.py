@@ -67,6 +67,25 @@ class Profiler:
         rows.sort(key=lambda r: (-r[2], r[0]))
         return rows
 
+    def to_dict(self) -> dict:
+        """Machine-readable dump (the ``profile.json`` artifact shape).
+
+        Sections are sorted heaviest-first to match :meth:`render`, so the
+        JSON artifact and the terminal table agree line for line.
+        """
+        return {
+            "total_seconds": self.total_seconds,
+            "sections": [
+                {
+                    "section": name,
+                    "calls": calls,
+                    "total_s": total,
+                    "mean_ms": mean * 1e3,
+                }
+                for name, calls, total, mean in self.summary_rows()
+            ],
+        }
+
     def render(self) -> str:
         """A plain-text summary table (heaviest sections first)."""
         from ..analysis.report import render_table

@@ -3,19 +3,27 @@
 Backs the ``repro-hcmd trace`` subcommand: :func:`summarize_trace`
 aggregates a trace into per-type/per-channel counts and time spans;
 :func:`format_timeline` renders events as one-line timeline entries with
-simulation timestamps.  See docs/observability.md for a worked example.
+simulation timestamps; :func:`filter_events` restricts a stream to one
+channel / workunit / host.  Every entry point takes an event *iterable*
+and consumes it in one streaming pass with bounded memory (a
+``--limit``-ed timeline keeps only its head and a tail ring), so replay
+scales to traces far larger than RAM — feed them straight from
+:func:`repro.obs.tracer.iter_trace`.  See docs/observability.md for a
+worked example.
 """
 
 from __future__ import annotations
 
 from collections import Counter as _Counter
+from collections import deque
 from dataclasses import dataclass, field
+from typing import Iterable, Iterator
 
 from ..units import SECONDS_PER_DAY
 from .events import channel_of
 from .tracer import TraceEvent
 
-__all__ = ["TraceSummary", "summarize_trace", "format_timeline"]
+__all__ = ["TraceSummary", "summarize_trace", "format_timeline", "filter_events"]
 
 
 @dataclass
@@ -51,10 +59,11 @@ class TraceSummary:
         ]
 
 
-def summarize_trace(events: list[TraceEvent]) -> TraceSummary:
-    """Aggregate a trace into counts and time spans."""
-    summary = TraceSummary(n_events=len(events))
+def summarize_trace(events: Iterable[TraceEvent]) -> TraceSummary:
+    """Aggregate an event stream into counts and time spans (one pass)."""
+    summary = TraceSummary()
     for event in events:
+        summary.n_events += 1
         summary.by_type[event.etype] += 1
         summary.by_channel[event.channel] += 1
         if event.t_sim is not None:
@@ -67,6 +76,28 @@ def summarize_trace(events: list[TraceEvent]) -> TraceSummary:
         if summary.t_wall_max is None or event.t_wall > summary.t_wall_max:
             summary.t_wall_max = event.t_wall
     return summary
+
+
+def filter_events(
+    events: Iterable[TraceEvent],
+    channel: str | None = None,
+    workunit: int | None = None,
+    host: int | None = None,
+) -> Iterator[TraceEvent]:
+    """Restrict an event stream (lazily) to a channel / workunit / host.
+
+    The workunit and host filters match on the ``wu`` / ``host``
+    correlation fields; events that do not carry the field (e.g. DES
+    kernel events under a ``workunit`` filter) are dropped.
+    """
+    for event in events:
+        if channel is not None and event.channel != channel:
+            continue
+        if workunit is not None and event.fields.get("wu") != workunit:
+            continue
+        if host is not None and event.fields.get("host") != host:
+            continue
+        yield event
 
 
 def _format_sim_time(t_sim: float | None) -> str:
@@ -91,22 +122,36 @@ def format_event(event: TraceEvent) -> str:
 
 
 def format_timeline(
-    events: list[TraceEvent],
+    events: Iterable[TraceEvent],
     limit: int | None = None,
     channel: str | None = None,
 ) -> list[str]:
     """Render events as timeline lines, optionally filtered and truncated.
 
-    With ``limit``, the head and tail of the (filtered) trace are kept and
-    an ellipsis line reports how many events were elided.
+    With ``limit``, the head and tail of the (filtered) stream are kept
+    and an ellipsis line reports how many events were elided; only
+    ``limit`` formatted lines are ever resident, regardless of trace size.
     """
     if channel is not None:
-        events = [e for e in events if e.channel == channel]
-    if limit is None or len(events) <= limit:
+        events = filter_events(events, channel=channel)
+    if limit is None:
         return [format_event(e) for e in events]
-    head = (limit + 1) // 2
-    tail = limit - head
-    lines = [format_event(e) for e in events[:head]]
-    lines.append(f"... {len(events) - limit} events elided ...")
-    lines.extend(format_event(e) for e in events[len(events) - tail:])
+    head_n = (limit + 1) // 2
+    tail_n = limit - head_n
+    head: list[str] = []
+    tail: deque[TraceEvent] = deque(maxlen=max(tail_n, 1))
+    total = 0
+    for event in events:
+        total += 1
+        if len(head) < head_n:
+            head.append(format_event(event))
+        else:
+            tail.append(event)
+    if total <= limit:
+        return head + [format_event(e) for e in tail]
+    lines = head
+    kept_tail = min(tail_n, len(tail))
+    lines.append(f"... {total - len(head) - kept_tail} events elided ...")
+    if tail_n > 0:
+        lines.extend(format_event(e) for e in tail)
     return lines

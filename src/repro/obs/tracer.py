@@ -36,6 +36,7 @@ __all__ = [
     "JsonlSink",
     "Tracer",
     "read_trace",
+    "iter_trace",
     "global_tracer",
     "set_global_tracer",
     "tracing",
@@ -207,15 +208,23 @@ class Tracer:
         self.close()
 
 
-def read_trace(path: Path | str) -> list[TraceEvent]:
-    """Load a JSONL trace back into :class:`TraceEvent` records."""
-    events = []
+def iter_trace(path: Path | str) -> Iterator[TraceEvent]:
+    """Stream a JSONL trace one :class:`TraceEvent` at a time.
+
+    The memory-bounded counterpart of :func:`read_trace`: the whole file
+    is never resident, so replay filters and span reconstruction scale to
+    multi-gigabyte campaign traces.
+    """
     with Path(path).open("r", encoding="ascii") as fh:
         for line in fh:
             line = line.strip()
             if line:
-                events.append(TraceEvent.from_json(line))
-    return events
+                yield TraceEvent.from_json(line)
+
+
+def read_trace(path: Path | str) -> list[TraceEvent]:
+    """Load a JSONL trace back into :class:`TraceEvent` records."""
+    return list(iter_trace(path))
 
 
 # -- process-global tracer -------------------------------------------------

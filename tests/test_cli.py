@@ -73,6 +73,30 @@ class TestCommands:
         assert main(["simulate", "--scale", "900", "--proteins", "5"]) == 0
         assert "error budget" not in capsys.readouterr().out
 
+    def test_simulate_health_prints_slo_report(self, capsys):
+        assert main([
+            "simulate", "--scale", "900", "--proteins", "5", "--health",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SLO report" in out
+        assert "queue-starvation" in out
+        assert "latency percentiles" in out
+
+    def test_simulate_report_prints_post_mortem(self, capsys):
+        assert main([
+            "simulate", "--scale", "900", "--proteins", "5",
+            "--faults", "corrupt=0.1,loss=0.1,maxreissue=10",
+            "--health", "--report",
+        ]) == 0
+        out = capsys.readouterr().out
+        # the fault error budget reaches the post-mortem via
+        # CampaignResult.fault_report()
+        assert "error budget (fault injection)" in out
+        assert "CAMPAIGN POST-MORTEM" in out
+        assert "fault plan" in out
+        assert "Top critical-path couples" in out
+        assert "Live SLO report" in out
+
     def test_simulate_bad_fault_spec_rejected(self):
         with pytest.raises(ValueError):
             main(["simulate", "--scale", "900", "--proteins", "5",

@@ -145,15 +145,17 @@ class TestFaultPlan:
 class TestEmptyPlanBitIdentity:
     """FaultPlan.none() campaigns match the pre-fault-subsystem traces."""
 
-    # sha256 over (etype, t_sim, sorted fields) of every trace event,
-    # recorded at the commit immediately before the fault subsystem landed.
+    # sha256 over (etype, t_sim, sorted fields) of every trace event.
+    # Re-pinned when the span correlation fields (copy/receptor/ligand/host)
+    # joined the event payloads; the completion times are the original
+    # pre-fault-subsystem values — the trajectory itself never moved.
     GOLDEN = {
         (300, 10, None): (
-            "2418a7f1e3290b073361fba236f41fac07832a88c2ce5b7ff1d323eb8f016607",
+            "6bcc25c8ddabbad2804ef94605e67bc82b4bafc6a39996305e1934e23575263e",
             10695940.733569192,
         ),
         (500, 8, 7): (
-            "2b266a54932912f88004e3c76dbd103edac7916a2503bba4561dfd1504896f21",
+            "101808a9e578059d177aadd0694856922e4a158071493780e419243387888dfa",
             8987859.456949988,
         ),
     }

@@ -195,6 +195,19 @@ class TestProfiler:
         assert prof.summary_rows()[0][0] == "a"  # heaviest first
         assert "a" in prof.render()
 
+    def test_to_dict_matches_render_order(self):
+        prof = Profiler()
+        prof.record("light", 0.25)
+        prof.record("heavy", 2.0)
+        prof.record("heavy", 2.0)
+        doc = json.loads(json.dumps(prof.to_dict()))  # JSON-safe
+        assert doc["total_seconds"] == pytest.approx(4.25)
+        assert [s["section"] for s in doc["sections"]] == ["heavy", "light"]
+        heavy = doc["sections"][0]
+        assert heavy["calls"] == 2
+        assert heavy["total_s"] == pytest.approx(4.0)
+        assert heavy["mean_ms"] == pytest.approx(2000.0)
+
 
 class TestTelemetryOnRegistry:
     def test_daily_buckets_unchanged(self):
@@ -296,6 +309,16 @@ class TestCampaignTraceReconciliation:
             result.telemetry.clamped_samples
         )
 
+    def test_export_with_profiler_writes_profile_json(self, traced, tmp_path):
+        _, result = traced
+        prof = Profiler()
+        prof.record("des.tick", 1.5)
+        paths = result.export(tmp_path, profiler=prof)
+        assert (tmp_path / "profile.json") in paths
+        doc = json.loads((tmp_path / "profile.json").read_text())
+        assert doc["total_seconds"] == pytest.approx(1.5)
+        assert doc["sections"][0]["section"] == "des.tick"
+
 
 class TestDesCallbackNames:
     """des.* events and profiler sections name the real call sites —
@@ -354,6 +377,42 @@ class TestReplay:
         assert len(lines) == 3  # head + ellipsis + tail
         assert "elided" in lines[1]
 
+    def test_filter_by_workunit(self):
+        from repro.obs.replay import filter_events
+
+        only = list(filter_events(self._events(), workunit=2))
+        assert [e.etype for e in only] == ["server.issue", "agent.fetch"]
+        assert all(e.fields["wu"] == 2 for e in only)
+
+    def test_filter_by_host_drops_fieldless_events(self):
+        from repro.obs.replay import filter_events
+
+        only = list(filter_events(self._events(), host=3))
+        assert len(only) == 2
+        # the docking.engine event carries no host field: dropped
+        assert all(e.fields.get("host") == 3 for e in only)
+
+    def test_filters_compose(self):
+        from repro.obs.replay import filter_events
+
+        only = list(
+            filter_events(self._events(), channel="server", workunit=1)
+        )
+        assert len(only) == 1 and only[0].fields == {"wu": 1, "host": 2}
+
+    def test_timeline_streams_with_bounded_memory(self):
+        """format_timeline accepts a one-shot generator and keeps only
+        head + tail lines resident."""
+        def stream():
+            tracer = Tracer()
+            for i in range(100):
+                tracer.emit("des.fire", t_sim=float(i), callback="f")
+            yield from tracer.sink.events
+
+        lines = format_timeline(stream(), limit=10)
+        assert len(lines) == 11  # 5 head + ellipsis + 5 tail
+        assert "90 events elided" in lines[5]
+
     def test_channel_of(self):
         assert channel_of("server.issue") == "server"
 
@@ -390,3 +449,69 @@ class TestTraceCli:
             e.channel in ("server", "telemetry") for e in events
         )
         assert "repro-hcmd trace" in capsys.readouterr().out
+
+    def _lifecycle_trace(self, path, host=2):
+        with Tracer.to_jsonl(path) as tracer:
+            tracer.emit("server.release", t_sim=0.0, wu=1, batch=0)
+            tracer.emit("server.issue", t_sim=10.0, wu=1, host=host, copy=0)
+            tracer.emit("agent.fetch", t_sim=20.0, wu=1, host=host, copy=0)
+            tracer.emit("server.issue", t_sim=10.0, wu=2, host=9, copy=0)
+            tracer.emit(
+                "server.result", t_sim=50.0, wu=1, host=host, copy=0,
+                valid=True,
+            )
+            tracer.emit("server.validate", t_sim=60.0, wu=1, regime="quorum")
+        return path
+
+    def test_trace_workunit_filter(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._lifecycle_trace(tmp_path / "t.jsonl")
+        assert main(["trace", str(path), "--workunit", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "workunit=1" in out  # the selection row
+        assert "wu=1" in out
+        assert "wu=2" not in out
+
+    def test_trace_host_filter(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._lifecycle_trace(tmp_path / "t.jsonl")
+        assert main(["trace", str(path), "--host", "9"]) == 0
+        out = capsys.readouterr().out
+        assert "host=9" in out
+        assert "wu=1" not in out
+
+    def test_trace_diff_identical_exit_zero(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = self._lifecycle_trace(tmp_path / "a.jsonl")
+        b = self._lifecycle_trace(tmp_path / "b.jsonl")
+        assert main(["trace", "diff", str(a), str(b)]) == 0
+        assert "agree" in capsys.readouterr().out
+
+    def test_trace_diff_divergent_exit_one(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = self._lifecycle_trace(tmp_path / "a.jsonl")
+        b = self._lifecycle_trace(tmp_path / "b.jsonl", host=5)
+        assert main(["trace", "diff", str(a), str(b)]) == 1
+        out = capsys.readouterr().out
+        assert "diverge" in out
+        assert "hosts" in out
+
+    def test_trace_diff_usage_errors(self, tmp_path, capsys):
+        from repro.cli import main
+
+        a = self._lifecycle_trace(tmp_path / "a.jsonl")
+        assert main(["trace", "diff", str(a)]) == 2
+        assert main(["trace", str(a), str(a)]) == 2
+
+    def test_report_trace_markdown(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = self._lifecycle_trace(tmp_path / "t.jsonl")
+        assert main(["report", "--trace", str(path), "--markdown"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("# Campaign post-mortem")
+        assert "## Summary" in out
