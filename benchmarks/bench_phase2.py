@@ -1,0 +1,245 @@
+"""Phase II at 4,096 proteins on the sharded campaign engine.
+
+Section 7 sizes phase II (4,000+ proteins, docking points cut 100x) but
+the paper never executes it — the workload only fits a production grid.
+This bench *runs* it: a 4,096-protein campaign with the phase-II point
+reduction, shrunk by ``scale`` exactly the way :func:`repro.boinc.
+simulator.scaled_phase1` shrinks phase I, partitioned into K shards by
+:mod:`repro.boinc.sharding` and executed end to end on a process pool.
+
+What is measured and recorded (``BENCH_phase2.json``):
+
+* per-shard wall times from a sequential (``n_workers=1``) pass — the
+  ground truth for scaling analysis;
+* the measured wall of a pooled (``n_workers=2``) pass, **labelled with
+  the machine's core count** — on a single-core box the pool cannot beat
+  sequential and the bench does not pretend otherwise;
+* an LPT (longest-processing-time) critical-path projection of the
+  campaign wall at 1/2/4 workers, ``"mode": "projected"`` — what the
+  measured shard walls imply on a machine with that many free cores;
+* the near-linear-scaling flag: projected speedup at 4 workers >= 3x;
+* bit-identity of the merged result across worker counts (the merge
+  contract: the pool is an execution detail, not an experiment knob).
+
+Smoke mode (``REPRO_BENCH_SMOKE=1``) shrinks the library ~64x so the
+whole file runs in seconds, keeps the identity assertions, and guards
+against a gross (>50%) sharding-overhead regression vs the monolithic
+engine — mirroring ``bench_des_kernel.py``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from time import perf_counter
+
+import pytest
+
+from repro import CampaignConfig, constants as C
+from repro.boinc.server import ServerConfig
+from repro.boinc.sharding import ShardPlan
+from repro.boinc.simulator import VolunteerGridSimulation
+from repro.boinc.validator import ValidationPolicy
+from repro.maxdo.cost_model import CostModel
+from repro.proteins.library import ProteinLibrary
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: the phase-II library (Section 7), shrunk ~64x for the smoke tier
+N_PROTEINS = 512 if SMOKE else 4_096
+#: further shrink factor on docking points, scaled_phase1-style; 4 keeps
+#: the mean workunit near one reference hour — large enough that fetch /
+#: report latencies stay second-order, the regime the sizing model assumes
+SCALE = 4.0
+N_SHARDS = 4
+SEED = 42
+HORIZON_WEEKS = 40.0
+#: headroom over the ~26-week auto-sizing so the campaign completes well
+#: inside the horizon even with the phase-II duration mix
+HOST_HEADROOM = 1.3
+
+#: sanity floor on sharding overhead: the summed sequential shard walls
+#: must stay within 2x of the monolithic wall (smoke) / 1.5x (full) —
+#: sharding buys parallelism, it must not burn the budget it frees up.
+MAX_OVERHEAD_RATIO = 2.0 if SMOKE else 1.5
+#: the acceptance bar: LPT-projected speedup at 4 workers over 1
+NEAR_LINEAR_SPEEDUP = 3.0
+
+
+def _phase2_simulation(shards: ShardPlan | None) -> VolunteerGridSimulation:
+    """The scaled phase-II campaign, optionally sharded."""
+    sum_nsep = max(
+        N_PROTEINS,
+        round(
+            C.SUM_NSEP * N_PROTEINS / C.N_PROTEINS
+            / C.PHASE2_POINT_REDUCTION / SCALE
+        ),
+    )
+    library = ProteinLibrary.synthetic(
+        n_proteins=N_PROTEINS, sum_nsep=sum_nsep, seed=SEED
+    )
+    cost_model = CostModel.calibrated(library, seed=SEED)
+    config = CampaignConfig(
+        seed=SEED,
+        scale=SCALE,
+        horizon_weeks=HORIZON_WEEKS,
+        # phase II runs on BOINC with the bounds validator calibrated
+        # during phase I (Section 8) — no quorum warm-up period
+        server=ServerConfig(validation=ValidationPolicy(switch_time=0.0)),
+    )
+    sim = VolunteerGridSimulation(library, cost_model, config)
+    config = config.with_(
+        n_hosts_peak=round(HOST_HEADROOM * sim.n_hosts_peak), shards=shards
+    )
+    return VolunteerGridSimulation(library, cost_model, config)
+
+
+def _fingerprint(result) -> str:
+    """Digest of everything observable about a campaign result."""
+    m = result.metrics()
+    payload = {
+        "completion_time": result.completion_time,
+        "registry": result.telemetry.registry.as_dict(),
+        "metrics": {f: v for f, v in vars(m).items()},
+        "fault_report": result.fault_report().as_dict(),
+        "batch_completion": result.batch_completion_s.tolist(),
+        "n_hosts": result.n_hosts,
+    }
+    return hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode()
+    ).hexdigest()
+
+
+def _lpt_wall(walls: list[float], n_workers: int) -> float:
+    """Campaign wall under LPT list scheduling on ``n_workers`` cores."""
+    loads = [0.0] * n_workers
+    for w in sorted(walls, reverse=True):
+        loads[loads.index(min(loads))] += w
+    return max(loads)
+
+
+@pytest.fixture(scope="module")
+def phase2_runs():
+    """One sequential and one pooled pass over the sharded campaign."""
+    runs = {}
+    for label, workers in (("sequential", 1), ("pooled", 2)):
+        sim = _phase2_simulation(ShardPlan(n_shards=N_SHARDS, n_workers=workers))
+        t0 = perf_counter()
+        result = sim.run()
+        runs[label] = {
+            "wall_s": perf_counter() - t0,
+            "result": result,
+            "n_workunits": sim.plan.total_workunits(),
+            "n_hosts_peak": sim.n_hosts_peak,
+        }
+    return runs
+
+
+def test_phase2_campaign_completes(phase2_runs):
+    """The 4,096-protein campaign must finish inside the horizon."""
+    result = phase2_runs["sequential"]["result"]
+    assert result.completion_time is not None
+    assert result.completion_time <= HORIZON_WEEKS * 7 * 86400
+    assert result.server.n_validated == result.server.n_workunits
+
+
+def test_merged_result_identical_across_worker_counts(phase2_runs):
+    seq, pool = phase2_runs["sequential"], phase2_runs["pooled"]
+    assert _fingerprint(seq["result"]) == _fingerprint(pool["result"])
+
+
+def test_phase2_scaling(phase2_runs, record_bench_json, record_artifact):
+    seq = phase2_runs["sequential"]
+    pool = phase2_runs["pooled"]
+    walls = seq["result"].shard_walls
+    assert walls is not None and len(walls) == N_SHARDS
+
+    projected = {
+        w: _lpt_wall(walls, w) for w in (1, 2, 4)
+    }
+    speedup_4 = projected[1] / projected[4]
+    overhead_ratio = sum(walls) / seq["wall_s"] if seq["wall_s"] else 1.0
+    result = seq["result"]
+    payload = {
+        "n_proteins": N_PROTEINS,
+        "scale": SCALE,
+        "seed": SEED,
+        "n_shards": N_SHARDS,
+        "n_workunits": int(seq["n_workunits"]),
+        "n_hosts_peak": int(seq["n_hosts_peak"]),
+        "n_hosts": int(result.n_hosts),
+        "completion_weeks": result.completion_time / (7 * 86400),
+        "smoke": SMOKE,
+        "machine_cores": os.cpu_count(),
+        "shard_walls_s": [round(w, 3) for w in walls],
+        "measured": {
+            "mode": "measured",
+            "wall_s_by_workers": {
+                "1": round(seq["wall_s"], 3),
+                "2": round(pool["wall_s"], 3),
+            },
+        },
+        "projected": {
+            "mode": "projected",
+            "note": "LPT critical path over the measured sequential "
+                    "shard walls; what the plan yields with that many "
+                    "free cores",
+            "wall_s_by_workers": {
+                str(w): round(v, 3) for w, v in projected.items()
+            },
+            "speedup_4_workers": round(speedup_4, 3),
+        },
+        "near_linear_scaling": bool(speedup_4 >= NEAR_LINEAR_SPEEDUP),
+        "outcome_bit_identical": _fingerprint(seq["result"])
+        == _fingerprint(pool["result"]),
+    }
+    record_bench_json(
+        "phase2", payload,
+        experiment="sharded phase-II campaign (4,096 proteins)",
+    )
+    record_artifact(
+        "phase2_scaling",
+        "\n".join([
+            f"phase II sharded: {N_PROTEINS} proteins, "
+            f"{seq['n_workunits']:,} workunits, {N_SHARDS} shards",
+            f"shard walls (s): "
+            + ", ".join(f"{w:.1f}" for w in walls),
+            f"projected wall 1/2/4 workers (s): "
+            + "/".join(f"{projected[w]:.1f}" for w in (1, 2, 4)),
+            f"projected speedup at 4 workers: {speedup_4:.2f}x "
+            f"(near-linear bar: {NEAR_LINEAR_SPEEDUP}x)",
+            f"bit-identical across worker counts: "
+            f"{payload['outcome_bit_identical']}",
+        ]),
+    )
+    assert payload["outcome_bit_identical"]
+    # balanced shards: the plan is work-balanced, so the critical path
+    # must sit close to the mean — that is what near-linear scaling *is*
+    assert speedup_4 >= NEAR_LINEAR_SPEEDUP
+    assert overhead_ratio <= MAX_OVERHEAD_RATIO
+
+
+def test_sharding_overhead_vs_monolithic(record_artifact):
+    """Summed shard walls must stay near the monolithic wall.
+
+    Run at smoke scale only — at 4,096 proteins the monolithic pass
+    would double an already-long bench for a ratio the smoke tier pins
+    just as well.
+    """
+    if not SMOKE:
+        pytest.skip("overhead ratio is pinned by the smoke tier")
+    t0 = perf_counter()
+    mono = _phase2_simulation(None).run()
+    mono_wall = perf_counter() - t0
+    sharded = _phase2_simulation(ShardPlan(n_shards=N_SHARDS)).run()
+    total_shard_wall = sum(sharded.shard_walls)
+    ratio = total_shard_wall / mono_wall
+    record_artifact(
+        "phase2_overhead",
+        f"monolithic {mono_wall:.2f}s vs summed shard walls "
+        f"{total_shard_wall:.2f}s (ratio {ratio:.2f}, "
+        f"cap {MAX_OVERHEAD_RATIO})",
+    )
+    assert mono.completion_time is not None
+    assert ratio <= MAX_OVERHEAD_RATIO

@@ -65,7 +65,7 @@ from .maxdo.cost_model import CostModel
 from .maxdo.docking import MaxDoRun, dock_couple
 from .obs import MetricsRegistry, Profiler, Tracer
 from .proteins.library import ProteinLibrary
-from .boinc import CampaignConfig, scaled_phase1
+from .boinc import CampaignConfig, ShardPlan, scaled_phase1
 
 __version__ = "1.0.0"
 
@@ -93,6 +93,7 @@ __all__ = [
     "Tracer",
     "ProteinLibrary",
     "CampaignConfig",
+    "ShardPlan",
     "scaled_phase1",
     "__version__",
 ]

@@ -19,6 +19,7 @@ that scale is out of reach, so this subpackage simulates the grid's
 from .config import CampaignConfig
 from .credit import AccountingMode, CobblestoneScale, HostBenchmark, vftp_from_credit
 from .server import GridServer, ServerConfig
+from .sharding import ShardPlan, ShardSpec
 from .simulator import CampaignResult, VolunteerGridSimulation, scaled_phase1
 from .validator import ValidationPolicy
 
@@ -30,6 +31,8 @@ __all__ = [
     "vftp_from_credit",
     "GridServer",
     "ServerConfig",
+    "ShardPlan",
+    "ShardSpec",
     "CampaignResult",
     "VolunteerGridSimulation",
     "scaled_phase1",

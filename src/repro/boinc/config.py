@@ -39,6 +39,7 @@ from .server import ServerConfig
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from ..grid.host import HostPopulationModel
     from ..grid.population import ShareSchedule, WCGPopulationModel
+    from .sharding import ShardPlan
 
 __all__ = ["CampaignConfig"]
 
@@ -81,6 +82,10 @@ class CampaignConfig:
     accounting: AccountingMode | None = None
     #: receptor release order ("least-cost" | "largest-first" | "library")
     release_policy: str = "least-cost"
+    #: shard the campaign into K independent server+DES slices merged
+    #: afterward (None or ``ShardPlan(n_shards=1)`` = one monolithic run;
+    #: see :mod:`repro.boinc.sharding`)
+    shards: "ShardPlan | None" = None
 
     def __post_init__(self) -> None:
         if self.horizon_weeks <= 0:

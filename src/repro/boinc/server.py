@@ -111,6 +111,11 @@ class GridServer:
     ``workunits`` must arrive in release order with their receptor-batch
     index; batches complete when every one of their workunits is validated
     (that is when results ship to the storage server in France).
+
+    ``id_base`` is the global id of the first workunit: a campaign shard
+    serves a contiguous id range ``[id_base, id_base + len(workunits))``
+    while keeping the campaign-global numbering, so merged traces and
+    span trees stay collision-free across shards.
     """
 
     def __init__(
@@ -121,6 +126,7 @@ class GridServer:
         on_workunit_valid: Callable[[WorkUnit, float], None] | None = None,
         on_batch_complete: Callable[[int, float], None] | None = None,
         tracer: "Tracer | None" = None,
+        id_base: int = 0,
     ) -> None:
         self.sim = sim
         self.config = config if config is not None else ServerConfig()
@@ -128,15 +134,16 @@ class GridServer:
         self.tracer = tracer
         self._on_workunit_valid = on_workunit_valid
         self._on_batch_complete = on_batch_complete
+        self._id_base = id_base
 
         self._states: list[_WorkunitState] = [
             _WorkunitState(wu, batch) for wu, batch in workunits
         ]
         for pos, state in enumerate(self._states):
-            if state.wu.wu_id != pos:
+            if state.wu.wu_id != id_base + pos:
                 raise ValueError(
                     "workunit ids must equal their release position "
-                    f"(got id {state.wu.wu_id} at position {pos})"
+                    f"(got id {state.wu.wu_id} at position {id_base + pos})"
                 )
         self._fresh = 0  #: index of the next never-issued workunit
         self._reissue: deque[_WorkunitState] = deque()
@@ -400,7 +407,7 @@ class GridServer:
             self._requeue(state, instance.host_id, "quorum-stall")
 
     def _state_of(self, wu: WorkUnit) -> _WorkunitState:
-        state = self._states[wu.wu_id]
+        state = self._states[wu.wu_id - self._id_base]
         if state.wu.wu_id != wu.wu_id:
             raise KeyError(f"unknown workunit {wu.wu_id}")
         return state

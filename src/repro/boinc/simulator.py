@@ -34,9 +34,12 @@ from __future__ import annotations
 
 import warnings
 from dataclasses import dataclass, field, replace
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .sharding import ShardSpec
 
 from .. import constants
 from ..faults import FaultPlan, FaultReport
@@ -246,6 +249,9 @@ class CampaignResult:
     #: the final SLO report when a health monitor rode the campaign
     #: (``health=True``), else None
     health: SLOReport | None = None
+    #: per-shard wall-clock seconds when the campaign ran sharded
+    #: (:mod:`repro.boinc.sharding`), else None
+    shard_walls: list[float] | None = None
 
     @property
     def span_s(self) -> float:
@@ -408,6 +414,7 @@ class VolunteerGridSimulation:
         tracer: Tracer | None = None,
         profiler: Profiler | None = None,
         health: "bool | HealthMonitor | None" = None,
+        shard: "ShardSpec | None" = None,
         **legacy,
     ) -> None:
         if legacy:
@@ -439,6 +446,19 @@ class VolunteerGridSimulation:
         if health is True:
             health = HealthMonitor()
         self.health = health if isinstance(health, HealthMonitor) else None
+        #: when set, this simulation runs one shard of a larger campaign:
+        #: a contiguous release-order slice with campaign-global workunit
+        #: and host numbering (see :mod:`repro.boinc.sharding`)
+        self.shard = shard
+        if (
+            shard is not None
+            and config.shards is not None
+            and config.shards.n_shards > 1
+        ):
+            raise ValueError(
+                "a shard simulation must carry a config without a "
+                "multi-shard plan (run_sharded strips it)"
+            )
         self.packaging = (
             config.packaging
             if config.packaging is not None
@@ -495,9 +515,13 @@ class VolunteerGridSimulation:
         )
         self.plan = WorkUnitPlan(cost_model, self.packaging)
         self.campaign = CampaignPlan(library, cost_model, policy=config.release_policy)
-        n_hosts_peak = config.n_hosts_peak
-        if n_hosts_peak is None:
-            n_hosts_peak = self._auto_host_count()
+        if self.shard is not None:
+            # The shard planner already prorated the campaign fleet.
+            n_hosts_peak = self.shard.n_hosts_peak
+        else:
+            n_hosts_peak = config.n_hosts_peak
+            if n_hosts_peak is None:
+                n_hosts_peak = self._auto_host_count()
         self.n_hosts_peak = n_hosts_peak
 
     @classmethod
@@ -561,7 +585,11 @@ class VolunteerGridSimulation:
         target = np.maximum.accumulate(target)  # hosts never leave
         arrivals: list[float] = []
         current = 0
-        rng = substream(self.seed, "host-arrivals", 0)
+        # Shard k draws its fleet from its own substream, so shards of
+        # one campaign never share or correlate their arrival processes
+        # (shard None / index 0 keeps today's monolithic stream).
+        shard_index = self.shard.index if self.shard is not None else 0
+        rng = substream(self.seed, "host-arrivals", shard_index)
         for w in range(n_weeks):
             new = int(target[w] - current)
             if new > 0:
@@ -573,7 +601,19 @@ class VolunteerGridSimulation:
     # -- execution ----------------------------------------------------------
 
     def run(self) -> CampaignResult:
-        """Run the campaign to completion (or the horizon)."""
+        """Run the campaign to completion (or the horizon).
+
+        With a :class:`~repro.boinc.sharding.ShardPlan` of more than one
+        shard in the config, execution is delegated to
+        :func:`repro.boinc.sharding.run_sharded` (K independent shard
+        simulations, merged losslessly); a plan of one shard — or none —
+        runs the monolithic path below, bit-identical either way.
+        """
+        shards = self.config.shards
+        if shards is not None and shards.n_shards > 1:
+            from .sharding import run_sharded
+
+            return run_sharded(self)
         tracer = self.tracer
         restore_sink = None
         if self.health is not None:
@@ -607,11 +647,20 @@ class VolunteerGridSimulation:
         profiler = self.profiler if self.profiler is not None else Profiler()
 
         with profiler.timed("setup.workunits"):
-            ordered_couples = self.campaign.ordered_couples()
+            # A shard materializes only its own release-order slice; ids
+            # and batch indices stay campaign-global so merged traces,
+            # spans and batch telemetry are collision-free.
+            shard = self.shard
+            batch_lo = shard.batch_lo if shard is not None else 0
+            wu_id_base = shard.wu_id_base if shard is not None else 0
+            ordered_couples = self.campaign.ordered_couples(
+                batch_lo, shard.batch_hi if shard is not None else None
+            )
             n = len(self.library)
+            pos_base = batch_lo * n
             workunits: list[tuple[WorkUnit, int]] = []
-            wu_id = 0
-            for pos, couple in enumerate(ordered_couples):
+            wu_id = wu_id_base
+            for pos, couple in enumerate(ordered_couples, start=pos_base):
                 batch = pos // n
                 for wu in self.plan.iter_workunits([couple], id_start=wu_id):
                     workunits.append((wu, batch))
@@ -637,6 +686,7 @@ class VolunteerGridSimulation:
                 t, batch_bytes[batch]
             ),
             tracer=tracer,
+            id_base=wu_id_base,
         )
         if self.health is not None:
             self.health.configure_campaign(
@@ -647,18 +697,25 @@ class VolunteerGridSimulation:
             arrivals = self._host_arrival_times()
             agents: list[VolunteerAgent] = []
             starts: list[tuple[float, Callable[[], None]]] = []
+            # Shards number their hosts from disjoint id blocks: every
+            # host-keyed substream (behaviour, agent RNG, fault state)
+            # stays independent across the shards of one campaign.
+            host_id_base = (
+                self.shard.host_id_base if self.shard is not None else 0
+            )
             for idx, join_t in enumerate(arrivals):
+                host_id = host_id_base + idx
                 spec = self.host_model.spec(
-                    idx,
+                    host_id,
                     join_time=float(join_t),
-                    faults=self.faults.host_state(self.seed, idx),
+                    faults=self.faults.host_state(self.seed, host_id),
                 )
                 agent = VolunteerAgent(
                     sim,
                     server,
                     spec,
                     telemetry,
-                    rng=substream(self.seed, "agent", idx),
+                    rng=substream(self.seed, "agent", host_id),
                     accounting=self.accounting,
                     tracer=tracer,
                 )

@@ -27,6 +27,7 @@ a GitHub-flavoured report).  See docs/observability.md.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Sequence
 
@@ -101,6 +102,18 @@ def build_parser() -> argparse.ArgumentParser:
         "--report", action="store_true",
         help="print the span-level campaign post-mortem after the run "
              "(workunit lifecycles reconstructed from the event stream)",
+    )
+    simu.add_argument(
+        "--shards", type=int, default=1, metavar="K",
+        help="partition the campaign into K independently-simulated "
+             "shards and merge the results deterministically "
+             "(see repro.boinc.sharding; default: 1 = monolithic)",
+    )
+    simu.add_argument(
+        "--shard-workers", type=int, default=None, metavar="N",
+        help="run shards on a pool of N worker processes "
+             "(default: min(K, cpu count); the merged result is "
+             "identical for every N)",
     )
 
     sub.add_parser("compare", help="Table 2: volunteer vs dedicated grid")
@@ -228,6 +241,21 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     from .faults import FaultPlan
     from .obs import Profiler, Tracer
 
+    sharded = args.shards > 1
+    if sharded:
+        if args.health:
+            print("error: --health needs the monolithic DES loop; "
+                  "drop --shards or --health", file=sys.stderr)
+            return 2
+        if args.profile:
+            print("error: --profile cannot aggregate across shard "
+                  "processes; drop --shards or --profile", file=sys.stderr)
+            return 2
+        if args.report and args.trace is None:
+            print("error: a sharded --report needs an on-disk trace; "
+                  "add --trace PATH", file=sys.stderr)
+            return 2
+
     tracer = None
     ring = None
     if args.trace is not None:
@@ -252,9 +280,20 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         if args.faults is not None
         else FaultPlan.none()
     )
+    shards = None
+    if sharded:
+        from .boinc.sharding import ShardPlan
+
+        n_workers = (
+            args.shard_workers
+            if args.shard_workers is not None
+            else min(args.shards, os.cpu_count() or 1)
+        )
+        shards = ShardPlan(n_shards=args.shards, n_workers=n_workers)
     config = CampaignConfig(
         accounting=AccountingMode(args.accounting),
         faults=faults,
+        shards=shards,
     )
     sim = scaled_phase1(
         scale=args.scale,
@@ -283,6 +322,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["points-based VFTP / truth",
          f"{result.vftp_from_credit() / result.vftp_from_useful_work():.2f}", "-"],
     ]))
+    if sharded and result.shard_walls is not None:
+        walls = ", ".join(f"{w:.2f}s" for w in result.shard_walls)
+        print(f"\nshards: {args.shards} x {shards.n_workers} worker(s); "
+              f"per-shard wall [{walls}]")
     if faults.enabled:
         print("\nerror budget (fault injection):")
         print(render_table(["quantity", "value"], result.fault_report().rows()))

@@ -110,11 +110,29 @@ class CampaignPlan:
             raise ValueError(f"k out of range: {k}")
         return float(self._cum_work[k] / self.total_work)
 
-    def ordered_couples(self) -> list[tuple[int, int]]:
-        """All couples in release order: batch by batch, ligands in index
-        order — the order workunits become available on the server."""
+    def ordered_couples(
+        self, batch_lo: int = 0, batch_hi: int | None = None
+    ) -> list[tuple[int, int]]:
+        """Couples in release order: batch by batch, ligands in index
+        order — the order workunits become available on the server.
+
+        ``batch_lo``/``batch_hi`` select a contiguous release-position
+        range of receptor batches (a campaign shard materializes only its
+        own slice instead of the full couple list); the default is the
+        whole campaign.
+        """
         n = len(self.library)
-        return [(int(r), j) for r in self.release_order for j in range(n)]
+        if batch_hi is None:
+            batch_hi = n
+        if not 0 <= batch_lo <= batch_hi <= n:
+            raise ValueError(
+                f"batch range [{batch_lo}, {batch_hi}) outside [0, {n}]"
+            )
+        return [
+            (int(r), j)
+            for r in self.release_order[batch_lo:batch_hi]
+            for j in range(n)
+        ]
 
     def snapshot(self, work_done: float) -> ProgressionSnapshot:
         """Progression after ``work_done`` reference seconds of useful work.

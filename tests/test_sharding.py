@@ -1,0 +1,296 @@
+"""Tests for repro.boinc.sharding: the sharded campaign engine.
+
+The contract under test (see the module docstring of
+:mod:`repro.boinc.sharding`):
+
+* a fixed ``ShardPlan(n_shards=K)`` produces the **same merged result**
+  for every worker count and on every run (pool vs in-process is an
+  execution detail, not an experiment parameter);
+* ``K=1`` (or no plan at all) is **bit-identical** to the monolithic
+  simulator — pinned here against digests captured before the sharding
+  engine existed;
+* merged artifacts are indistinguishable from a monolithic run to the
+  downstream tooling (span reconstruction finds zero orphans, the fault
+  report recombines, the JSONL trace stays time-ordered).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro import CampaignConfig, ShardPlan, Tracer, scaled_phase1
+from repro.boinc.sharding import HOST_ID_STRIDE, plan_shards
+from repro.faults import FaultPlan
+from repro.obs.tracer import iter_trace
+
+# ---------------------------------------------------------------------------
+# Golden values captured at the pre-sharding HEAD (monolithic simulator),
+# scale=700 n_proteins=6 seed=42, trace channels ("server","agent","fault").
+# The sharded engine with K=1 — and a config with no plan at all — must
+# keep reproducing these bytes.
+# ---------------------------------------------------------------------------
+GOLDEN = {
+    "completion_time": 6807430.00267922,
+    "disclosed": 78,
+    "effective": 38,
+    "n_hosts": 4,
+    "n_events": 581,
+    "trace_digest":
+        "351a01958365616baa218e62417c43d7937c67ab8bd772d470f3f823dab70dd3",
+    "registry_digest":
+        "07a05502e2add67f3a763cee360d98671d9bc65f3eed318f826d5ef9b9c552c6",
+}
+CHANNELS = ("server", "agent", "fault")
+
+
+def _registry_digest(result) -> str:
+    payload = json.dumps(result.telemetry.registry.as_dict(), sort_keys=True)
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def _trace_digest(path) -> str:
+    """Digest of the semantic trace content (t_wall varies run to run)."""
+    h = hashlib.sha256()
+    for e in iter_trace(path):
+        h.update(
+            repr((e.etype, e.t_sim, tuple(sorted(e.fields.items())))).encode()
+        )
+    return h.hexdigest()
+
+
+def _run(n_shards, n_workers, tmp_path=None, name="trace.jsonl", **kw):
+    tracer = None
+    if tmp_path is not None:
+        tracer = Tracer.to_jsonl(tmp_path / name, channels=CHANNELS)
+    plan = ShardPlan(n_shards=n_shards, n_workers=n_workers)
+    config = kw.pop("config", CampaignConfig()).with_(shards=plan)
+    result = scaled_phase1(
+        scale=700, n_proteins=6, seed=42, config=config, tracer=tracer, **kw
+    ).run()
+    if tracer is not None:
+        tracer.close()
+    return result, tracer
+
+
+def _fingerprint(result) -> dict:
+    """Everything observable about a merged result, hashed or verbatim."""
+    m = result.metrics()
+    return {
+        "completion_time": result.completion_time,
+        "disclosed": result.server.stats.disclosed,
+        "effective": result.server.stats.effective,
+        "n_hosts": result.n_hosts,
+        "registry": _registry_digest(result),
+        "metrics": {f: getattr(m, f) for f in vars(m)},
+        "fault_report": result.fault_report().as_dict(),
+        "batch_completion": result.batch_completion_s.tolist(),
+    }
+
+
+class TestShardPlanValue:
+    def test_validates_counts(self):
+        with pytest.raises(ValueError):
+            ShardPlan(n_shards=0)
+        with pytest.raises(ValueError):
+            ShardPlan(n_shards=2, n_workers=0)
+
+    def test_frozen(self):
+        plan = ShardPlan(n_shards=2, n_workers=2)
+        with pytest.raises(AttributeError):
+            plan.n_shards = 4
+
+
+class TestPlanShards:
+    @pytest.fixture(scope="class")
+    def sim(self):
+        return scaled_phase1(scale=700, n_proteins=6, seed=42)
+
+    def test_covers_campaign_disjointly(self, sim):
+        for k in (1, 2, 3):
+            specs = plan_shards(sim, k)
+            assert len(specs) == k
+            assert specs[0].batch_lo == 0
+            assert specs[-1].batch_hi == len(sim.library)
+            for a, b in zip(specs, specs[1:]):
+                assert a.batch_hi == b.batch_lo
+
+    def test_workunit_ids_partition_the_campaign(self, sim):
+        specs = plan_shards(sim, 3)
+        assert specs[0].wu_id_base == 0
+        for a, b in zip(specs, specs[1:]):
+            assert b.wu_id_base == a.wu_id_base + a.n_workunits
+        total = specs[-1].wu_id_base + specs[-1].n_workunits
+        assert total == sim.plan.total_workunits()
+
+    def test_host_id_blocks_disjoint(self, sim):
+        specs = plan_shards(sim, 3)
+        assert [s.host_id_base for s in specs] == [
+            0, HOST_ID_STRIDE, 2 * HOST_ID_STRIDE
+        ]
+
+    def test_too_many_shards_rejected(self, sim):
+        with pytest.raises(ValueError):
+            plan_shards(sim, len(sim.library) + 1)
+
+
+class TestGoldenPin:
+    """K=1 — and no plan — must stay bit-identical to the pre-PR output."""
+
+    @pytest.mark.parametrize("plan", [None, ShardPlan(n_shards=1)])
+    def test_monolithic_golden(self, tmp_path, plan):
+        tracer = Tracer.to_jsonl(tmp_path / "t.jsonl", channels=CHANNELS)
+        config = CampaignConfig(shards=plan)
+        result = scaled_phase1(
+            scale=700, n_proteins=6, seed=42, config=config, tracer=tracer
+        ).run()
+        tracer.close()
+        assert result.completion_time == GOLDEN["completion_time"]
+        assert result.server.stats.disclosed == GOLDEN["disclosed"]
+        assert result.server.stats.effective == GOLDEN["effective"]
+        assert result.n_hosts == GOLDEN["n_hosts"]
+        assert tracer.n_events == GOLDEN["n_events"]
+        assert _registry_digest(result) == GOLDEN["registry_digest"]
+        assert _trace_digest(tmp_path / "t.jsonl") == GOLDEN["trace_digest"]
+
+
+class TestMergeDeterminism:
+    @pytest.mark.parametrize("n_shards", [2, 4])
+    def test_pool_identical_to_in_process(self, tmp_path, n_shards):
+        seq, _ = _run(n_shards, 1, tmp_path, "seq.jsonl")
+        pool, _ = _run(n_shards, 2, tmp_path, "pool.jsonl")
+        assert _fingerprint(seq) == _fingerprint(pool)
+        assert _trace_digest(tmp_path / "seq.jsonl") == _trace_digest(
+            tmp_path / "pool.jsonl"
+        )
+
+    def test_run_twice_identical(self):
+        a, _ = _run(3, 1)
+        b, _ = _run(3, 1)
+        assert _fingerprint(a) == _fingerprint(b)
+
+    def test_shard_walls_reported(self):
+        result, _ = _run(2, 1)
+        assert result.shard_walls is not None
+        assert len(result.shard_walls) == 2
+        assert all(w > 0 for w in result.shard_walls)
+        mono = scaled_phase1(scale=700, n_proteins=6, seed=42).run()
+        assert mono.shard_walls is None
+
+
+class TestMergedArtifacts:
+    @pytest.fixture(scope="class")
+    def sharded(self, tmp_path_factory):
+        d = tmp_path_factory.mktemp("sharded")
+        result, tracer = _run(2, 2, d)
+        return result, tracer, d / "trace.jsonl"
+
+    def test_trace_time_ordered(self, sharded):
+        _, _, path = sharded
+        last = float("-inf")
+        for e in iter_trace(path):
+            if e.t_sim is not None:
+                assert e.t_sim >= last
+                last = e.t_sim
+
+    def test_no_shard_files_left_behind(self, sharded):
+        _, _, path = sharded
+        leftovers = [
+            f for f in os.listdir(path.parent) if f.startswith("shard-")
+        ]
+        assert leftovers == []
+
+    def test_tracer_counts_cover_merged_file(self, sharded):
+        _, tracer, path = sharded
+        n_lines = sum(1 for _ in open(path))
+        assert tracer.n_events == n_lines
+        assert sum(tracer.counts.values()) == n_lines
+
+    def test_span_reconstruction_zero_orphans(self, sharded):
+        from repro.obs.spans import reconstruct_file
+
+        _, _, path = sharded
+        campaign = reconstruct_file(path)
+        assert campaign.orphans == 0
+        assert len(campaign.trees) > 0
+
+    def test_daily_series_sum_to_totals(self, sharded):
+        result, _, _ = sharded
+        tel = result.telemetry
+        assert tel.daily_results.sum() == result.server.stats.disclosed
+        assert tel.daily_cpu_s.sum() == pytest.approx(
+            result.server.stats.consumed_cpu_s
+        )
+
+    def test_export_round_trips(self, sharded, tmp_path):
+        result, _, _ = sharded
+        paths = result.export(tmp_path / "campaign")
+        assert paths and all(p.exists() for p in paths)
+
+
+class TestFaultMerge:
+    def test_fault_budget_recombines(self):
+        config = CampaignConfig(
+            faults=FaultPlan.from_spec("corrupt=0.1,loss=0.05")
+        )
+        seq, _ = _run(2, 1, config=config)
+        pool, _ = _run(2, 2, config=config)
+        assert seq.fault_report().as_dict() == pool.fault_report().as_dict()
+        # injected faults must actually register in the merged budget
+        assert any(
+            v for k, v in seq.fault_report().as_dict().items()
+            if isinstance(v, (int, float)) and v
+        )
+
+
+class TestIncompatibleRiders:
+    def test_health_monitor_rejected(self):
+        config = CampaignConfig(shards=ShardPlan(n_shards=2))
+        sim = scaled_phase1(
+            scale=700, n_proteins=6, seed=42, config=config, health=True
+        )
+        with pytest.raises(ValueError, match="health"):
+            sim.run()
+
+    def test_profiler_rejected(self):
+        from repro.obs import Profiler
+
+        config = CampaignConfig(shards=ShardPlan(n_shards=2))
+        sim = scaled_phase1(
+            scale=700, n_proteins=6, seed=42, config=config,
+            profiler=Profiler(),
+        )
+        with pytest.raises(ValueError, match="profil"):
+            sim.run()
+
+    def test_ring_sink_rejected(self):
+        from repro.obs import RingSink
+
+        tracer = Tracer(sink=RingSink(capacity=1000), channels=CHANNELS)
+        config = CampaignConfig(shards=ShardPlan(n_shards=2))
+        sim = scaled_phase1(
+            scale=700, n_proteins=6, seed=42, config=config, tracer=tracer
+        )
+        with pytest.raises(ValueError, match="JSONL"):
+            sim.run()
+
+
+class TestServerIdBase:
+    def test_offset_ids_accepted_and_checked(self):
+        from repro.boinc.server import GridServer
+        from repro.core.workunit import WorkUnit
+        from repro.grid.des import Simulator
+
+        wus = [
+            (WorkUnit(wu_id=100 + i, receptor=0, ligand=i,
+                      isep_start=1, nsep=4, cost_reference_s=10.0), 0)
+            for i in range(3)
+        ]
+        server = GridServer(Simulator(), wus, id_base=100)
+        assert server.n_workunits == 3
+        with pytest.raises(ValueError):
+            GridServer(Simulator(), wus)
