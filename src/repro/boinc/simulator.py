@@ -598,9 +598,59 @@ class VolunteerGridSimulation:
                 current = int(target[w])
         return np.asarray(arrivals)
 
+    # -- campaign materialization -------------------------------------------
+
+    def materialize_workunits(self) -> list[tuple[WorkUnit, int]]:
+        """The campaign's ``(workunit, batch)`` list in release order.
+
+        A shard materializes only its own release-order slice; workunit ids
+        and batch indices stay campaign-global so merged traces, spans and
+        batch telemetry are collision-free.  The list is deterministic for a
+        given library/cost-model/config, which is what lets a wire-driven
+        load generator rebuild the exact same workunits independently of
+        the scheduler service (see :mod:`repro.service`).
+        """
+        shard = self.shard
+        batch_lo = shard.batch_lo if shard is not None else 0
+        wu_id_base = shard.wu_id_base if shard is not None else 0
+        ordered_couples = self.campaign.ordered_couples(
+            batch_lo, shard.batch_hi if shard is not None else None
+        )
+        n = len(self.library)
+        pos_base = batch_lo * n
+        workunits: list[tuple[WorkUnit, int]] = []
+        wu_id = wu_id_base
+        for pos, couple in enumerate(ordered_couples, start=pos_base):
+            batch = pos // n
+            for wu in self.plan.iter_workunits([couple], id_start=wu_id):
+                workunits.append((wu, batch))
+                wu_id += 1
+        return workunits
+
+    @property
+    def wu_id_base(self) -> int:
+        """First workunit id of this (shard of the) campaign."""
+        return self.shard.wu_id_base if self.shard is not None else 0
+
+    def batch_result_bytes(self) -> list[int]:
+        """Result bytes shipped per receptor batch, by release position.
+
+        Result volume ships when a receptor batch completes ("when one
+        protein has been docked with the 168 others", Section 5.2): one
+        line per (position, orientation couple) against every ligand.
+        """
+        from ..maxdo.resultfile import BYTES_PER_LINE
+
+        n = len(self.library)
+        return [
+            int(self.library.nsep[int(r)]) * n * constants.N_ROT_COUPLES
+            * BYTES_PER_LINE
+            for r in self.campaign.release_order
+        ]
+
     # -- execution ----------------------------------------------------------
 
-    def run(self) -> CampaignResult:
+    def run(self, server_factory: Callable[..., GridServer] | None = None) -> CampaignResult:
         """Run the campaign to completion (or the horizon).
 
         With a :class:`~repro.boinc.sharding.ShardPlan` of more than one
@@ -608,12 +658,29 @@ class VolunteerGridSimulation:
         :func:`repro.boinc.sharding.run_sharded` (K independent shard
         simulations, merged losslessly); a plan of one shard — or none —
         runs the monolithic path below, bit-identical either way.
+
+        ``server_factory`` swaps the in-process :class:`GridServer` for a
+        stand-in with the same agent-facing surface — the wire-driven
+        load-generator mode (:mod:`repro.service.loadgen`) injects a
+        socket-backed proxy here.  The factory is called with the same
+        keyword arguments as the ``GridServer`` constructor and may ignore
+        the ones it does not need.
         """
         shards = self.config.shards
         if shards is not None and shards.n_shards > 1:
+            if server_factory is not None:
+                raise ValueError(
+                    "server_factory is incompatible with a multi-shard plan; "
+                    "run the load generator against a single-shard campaign"
+                )
             from .sharding import run_sharded
 
             return run_sharded(self)
+        if server_factory is not None and self.health is not None:
+            raise ValueError(
+                "health monitoring needs the in-process server's event "
+                "stream; run the wire-driven campaign without health="
+            )
         tracer = self.tracer
         restore_sink = None
         if self.health is not None:
@@ -647,46 +714,21 @@ class VolunteerGridSimulation:
         profiler = self.profiler if self.profiler is not None else Profiler()
 
         with profiler.timed("setup.workunits"):
-            # A shard materializes only its own release-order slice; ids
-            # and batch indices stay campaign-global so merged traces,
-            # spans and batch telemetry are collision-free.
-            shard = self.shard
-            batch_lo = shard.batch_lo if shard is not None else 0
-            wu_id_base = shard.wu_id_base if shard is not None else 0
-            ordered_couples = self.campaign.ordered_couples(
-                batch_lo, shard.batch_hi if shard is not None else None
-            )
-            n = len(self.library)
-            pos_base = batch_lo * n
-            workunits: list[tuple[WorkUnit, int]] = []
-            wu_id = wu_id_base
-            for pos, couple in enumerate(ordered_couples, start=pos_base):
-                batch = pos // n
-                for wu in self.plan.iter_workunits([couple], id_start=wu_id):
-                    workunits.append((wu, batch))
-                    wu_id += 1
+            workunits = self.materialize_workunits()
 
-        # Result volume shipped when a receptor batch completes ("when one
-        # protein has been docked with the 168 others", Section 5.2): one
-        # line per (position, orientation couple) against every ligand.
-        from ..maxdo.resultfile import BYTES_PER_LINE
+        batch_bytes = self.batch_result_bytes()
 
-        batch_bytes = [
-            int(self.library.nsep[int(r)]) * n * constants.N_ROT_COUPLES
-            * BYTES_PER_LINE
-            for r in self.campaign.release_order
-        ]
-
-        server = GridServer(
-            sim,
-            workunits,
+        make_server = server_factory if server_factory is not None else GridServer
+        server = make_server(
+            sim=sim,
+            workunits=workunits,
             config=self.server_config,
             on_workunit_valid=lambda wu, t: telemetry.record_validation(t),
             on_batch_complete=lambda batch, t: telemetry.record_shipment(
                 t, batch_bytes[batch]
             ),
             tracer=tracer,
-            id_base=wu_id_base,
+            id_base=self.wu_id_base,
         )
         if self.health is not None:
             self.health.configure_campaign(
@@ -727,6 +769,14 @@ class VolunteerGridSimulation:
 
         with profiler.timed("des.run"):
             sim.run(until=self.horizon_s)
+
+        # A wire-backed server proxy needs a final clock advance on the
+        # *remote* side: trailing deadline timers there fire only when told
+        # the campaign horizon was reached (the in-process GridServer has
+        # no such hook — its timers live in `sim` and already fired).
+        finalize = getattr(server, "finalize_campaign", None)
+        if finalize is not None:
+            finalize(self.horizon_s)
 
         health_report = None
         if self.health is not None:

@@ -11,6 +11,8 @@
     repro-hcmd trace campaign.jsonl      # replay a structured event trace
     repro-hcmd trace diff a.jsonl b.jsonl  # align two runs, report divergence
     repro-hcmd report --trace campaign.jsonl  # span-level post-mortem
+    repro-hcmd serve --scale 900         # live scheduler RPC service
+    repro-hcmd loadgen http://127.0.0.1:8642  # drive it over the wire
 
 Every command prints plain-text tables via :mod:`repro.analysis.report`.
 ``simulate --trace PATH`` records a structured JSONL event trace,
@@ -188,6 +190,81 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--host", type=int, default=None,
         help="restrict the timeline to one host id",
+    )
+
+    def campaign_flags(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--scale", type=float, default=200.0)
+        p.add_argument("--proteins", type=int, default=16)
+        p.add_argument(
+            "--horizon-weeks", type=float, default=40.0,
+            help="campaign horizon (simulated weeks)",
+        )
+        p.add_argument(
+            "--faults", metavar="SPEC", default=None,
+            help="fault spec, as in `simulate --faults` (serve and loadgen "
+                 "must agree on it for deterministic replay)",
+        )
+
+    srv = sub.add_parser(
+        "serve", help="run the live scheduler service: the campaign's "
+                      "GridServer behind an HTTP/JSON RPC front-end "
+                      "(request-work / report-result / heartbeat; "
+                      "see docs/service.md)"
+    )
+    campaign_flags(srv)
+    srv.add_argument("--host", default="127.0.0.1")
+    srv.add_argument(
+        "--port", type=int, default=8642,
+        help="listening port (0 = let the OS pick one)",
+    )
+    srv.add_argument(
+        "--max-pending", type=int, default=1024,
+        help="bounded write-queue depth; a full queue refuses RPCs with "
+             "503 + Retry-After instead of buffering unboundedly",
+    )
+    srv.add_argument(
+        "--time-scale", type=float, default=1.0,
+        help="live-mode clock: simulated seconds per wall second "
+             "(replay clients carry explicit timestamps instead)",
+    )
+    srv.add_argument(
+        "--duration", type=float, default=None, metavar="SECONDS",
+        help="serve for this long, then drain and exit "
+             "(default: until Ctrl-C)",
+    )
+    srv.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="record service/server events to a JSONL trace",
+    )
+
+    lg = sub.add_parser(
+        "loadgen", help="drive a running scheduler service: deterministic "
+                        "campaign replay or an open-loop request storm"
+    )
+    lg.add_argument("url", help="service URL, e.g. http://127.0.0.1:8642")
+    lg.add_argument(
+        "--mode", default="replay", choices=("replay", "storm"),
+        help="replay: run the seeded campaign as a wire client "
+             "(reconciles exactly with the in-process run); "
+             "storm: open-loop throughput/overload measurement",
+    )
+    campaign_flags(lg)
+    lg.add_argument(
+        "--reconcile", action="store_true",
+        help="replay mode: also run the campaign in-process and verify "
+             "the wire-driven run matches (exit 1 on divergence)",
+    )
+    lg.add_argument(
+        "--hosts", type=int, default=10_000,
+        help="storm mode: distinct host ids to sweep",
+    )
+    lg.add_argument(
+        "--connections", type=int, default=32,
+        help="storm mode: concurrent keep-alive connections",
+    )
+    lg.add_argument(
+        "--requests-per-host", type=int, default=1,
+        help="storm mode: sweep the host-id range this many times",
     )
     return parser
 
@@ -524,6 +601,154 @@ def _cmd_sites(args: argparse.Namespace) -> int:
     return 0
 
 
+def _service_campaign(args: argparse.Namespace):
+    """The shared campaign construction for `serve` and `loadgen`.
+
+    Both sides must build the identical campaign (same seed, scale,
+    protein count, horizon and fault spec) for deterministic replay; the
+    wire proxy verifies this against the service's discovery endpoint.
+    """
+    from .boinc.config import CampaignConfig
+    from .boinc.simulator import scaled_phase1
+    from .faults import FaultPlan
+
+    faults = (
+        FaultPlan.from_spec(args.faults)
+        if args.faults is not None
+        else FaultPlan.none()
+    )
+    return scaled_phase1(
+        scale=args.scale,
+        n_proteins=args.proteins,
+        seed=args.seed,
+        horizon_weeks=args.horizon_weeks,
+        config=CampaignConfig(faults=faults),
+    )
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import signal
+
+    from .obs import Tracer
+    from .service import SchedulerService, ServiceConfig
+
+    tracer = Tracer.to_jsonl(args.trace) if args.trace is not None else None
+    sim_model = _service_campaign(args)
+    service = SchedulerService(
+        sim_model,
+        config=ServiceConfig(
+            host=args.host,
+            port=args.port,
+            max_pending=args.max_pending,
+            time_scale=args.time_scale,
+        ),
+        tracer=tracer,
+    )
+
+    async def _run() -> None:
+        host, port = await service.start()
+        print(
+            f"serving {service.server.n_workunits} workunits at "
+            f"http://{host}:{port} (drive it with `repro-hcmd loadgen "
+            f"http://{host}:{port}`; Ctrl-C drains and exits)",
+            flush=True,
+        )
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-unix
+                pass
+        if args.duration is not None:
+            try:
+                await asyncio.wait_for(stop.wait(), timeout=args.duration)
+            except asyncio.TimeoutError:
+                pass
+        else:
+            await stop.wait()
+        print("draining...", flush=True)
+        await service.shutdown()
+
+    asyncio.run(_run())
+    stats = service.server.stats
+    print(render_table(["quantity", "value"], [
+        ["requests answered", service.requests_total],
+        ["results validated", stats.effective],
+        ["refused (outage)", service.refused["outage"]],
+        ["refused (overload)", service.refused["overload"]],
+        ["refused (draining)", service.refused["draining"]],
+        ["peak queue depth", service.max_queue_depth],
+    ]))
+    if tracer is not None:
+        tracer.close()
+        print(f"trace: {tracer.n_events:,} events -> {args.trace}")
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .service import replay_campaign, storm
+
+    if args.mode == "storm":
+        try:
+            report = storm(
+                args.url,
+                n_hosts=args.hosts,
+                connections=args.connections,
+                requests_per_host=args.requests_per_host,
+            )
+        except OSError as exc:
+            print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+            return 1
+        latency = report.latency_quantiles()
+        print(render_table(["quantity", "value"], [
+            ["hosts x sweeps", f"{report.n_hosts} x {args.requests_per_host}"],
+            ["connections", report.connections],
+            ["requests sent", report.sent],
+            ["requests answered", report.answered],
+            ["dropped (no response)", report.dropped],
+            ["refused (503)", report.refused_total],
+            ["assignments / reports", f"{report.assignments} / {report.reports}"],
+            ["sustained requests/s", f"{report.requests_per_s:,.0f}"],
+            ["latency p50 / p99 (ms)",
+             f"{latency.get('p50', 0) * 1e3:.2f} / {latency.get('p99', 0) * 1e3:.2f}"],
+        ]))
+        return 0 if report.dropped == 0 else 1
+
+    try:
+        result = replay_campaign(_service_campaign(args), args.url)
+    except OSError as exc:
+        print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
+        return 1
+    except ValueError as exc:  # campaign identity mismatch from the proxy
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    metrics = result.metrics()
+    weeks = result.completion_weeks
+    print(render_table(["quantity", "value"], [
+        ["hosts", result.n_hosts],
+        ["workunits", result.server.n_workunits],
+        ["completion (weeks)", f"{weeks:.1f}" if weeks else "incomplete"],
+        ["results validated", result.server.stats.effective],
+        ["redundancy factor", f"{metrics.redundancy:.3f}"],
+        ["useful result fraction", f"{metrics.useful_result_fraction:.3f}"],
+    ]))
+    if args.reconcile:
+        reference = _service_campaign(args).run()
+        match = (
+            result.server.stats == reference.server.stats
+            and result.completion_time == reference.completion_time
+        )
+        print(f"\nreconcile vs in-process run: "
+              f"{'MATCH' if match else 'DIVERGED'}")
+        if not match:
+            print(f"  wire:       {result.server.stats}")
+            print(f"  in-process: {reference.server.stats}")
+            return 1
+    return 0
+
+
 _COMMANDS = {
     "estimate": _cmd_estimate,
     "package": _cmd_package,
@@ -535,6 +760,8 @@ _COMMANDS = {
     "partners": _cmd_partners,
     "sites": _cmd_sites,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
+    "loadgen": _cmd_loadgen,
 }
 
 

@@ -454,6 +454,11 @@ class FaultReport:
         for kind in FAULT_COUNTER_KINDS:
             name = f"fault.{kind}"
             injected[kind] = int(registry.get(name).value) if name in registry else 0
+        # Outage-window refusals are counted authoritatively by the server
+        # (`server.refuse` -> ValidationStats.refused_rpcs); agent-side
+        # telemetry never sees them, so without this the error budget
+        # would report 0 refused RPCs for every outage campaign.
+        injected["refused_rpcs"] += int(stats.refused_rpcs)
         return cls(
             plan=plan,
             injected=injected,

@@ -72,11 +72,20 @@ EVENT_TYPES: dict[str, str] = {
                          "reissue-burn | validation-backlog)",
     "health.slo_clear": "a previously-breached SLO rule recovered (`rule`, "
                         "`breached_s` = simulated seconds spent in breach)",
+    # -- scheduler RPC service (repro.service) ------------------------------
+    "service.listen": "the scheduler service bound its listening socket "
+                      "(`host`, `port`, `n_workunits`)",
+    "service.request": "an RPC completed (`op`, `status`, `wall_ms`)",
+    "service.refuse": "an RPC was refused at the socket layer with 503 + "
+                      "Retry-After (`op`, `reason` = overload | draining)",
+    "service.drain": "graceful shutdown drained the write queue "
+                     "(`phase` = begin | end, `pending`)",
 }
 
 #: The per-subsystem channels, in taxonomy order.
 CHANNELS: tuple[str, ...] = (
-    "des", "server", "agent", "fault", "docking", "telemetry", "health"
+    "des", "server", "agent", "fault", "docking", "telemetry", "health",
+    "service",
 )
 
 

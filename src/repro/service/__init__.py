@@ -1,0 +1,43 @@
+"""Live scheduler service: the wire front-end on :class:`GridServer`.
+
+The paper's campaign ran on a real BOINC server fielding scheduler RPCs
+from the volunteer fleet; this package puts the same request-work /
+report-result / heartbeat surface on real sockets:
+
+* :class:`SchedulerService` / :func:`serve_in_thread` — the asyncio
+  HTTP/JSON service (single-writer mutation loop, bounded queue,
+  socket-level backpressure with 503 + Retry-After);
+* :class:`SchedulerClient` / :class:`RemoteGridServer` — the blocking
+  client and the agent-facing proxy;
+* :func:`replay_campaign` / :func:`storm` — the simulator's
+  load-generator modes (deterministic replay over the wire, and an
+  open-loop throughput storm).
+
+Wire protocol reference: docs/service.md.
+"""
+
+from .app import SchedulerService, ServiceConfig, ServiceHandle, serve_in_thread
+from .client import (
+    RemoteGridServer,
+    SchedulerClient,
+    ServiceError,
+    ServiceRefused,
+)
+from .loadgen import StormReport, replay_campaign, storm
+from .protocol import ENDPOINTS, WIRE_PROTOCOL_VERSION
+
+__all__ = [
+    "SchedulerService",
+    "ServiceConfig",
+    "ServiceHandle",
+    "serve_in_thread",
+    "SchedulerClient",
+    "RemoteGridServer",
+    "ServiceError",
+    "ServiceRefused",
+    "replay_campaign",
+    "storm",
+    "StormReport",
+    "ENDPOINTS",
+    "WIRE_PROTOCOL_VERSION",
+]

@@ -1,0 +1,282 @@
+"""Load-generator modes of the simulator, driving the wire.
+
+Two modes, both against a live :class:`~repro.service.SchedulerService`:
+
+* :func:`replay_campaign` — **deterministic replay**: the simulator runs
+  its seeded host population locally (same arrival traces, same RNG
+  substreams), but every scheduler interaction goes over real sockets
+  through a :class:`~repro.service.client.RemoteGridServer` proxy.  One
+  RPC is in flight at a time and each carries the local DES clock, so the
+  wire-driven campaign reconciles exactly with the in-process run — same
+  validated-result counts, same :class:`ValidationStats`.
+* :func:`storm` — **open-loop throughput storm**: N concurrent
+  keep-alive connections sweeping a host-id range through
+  heartbeat / request-work / report-result cycles as fast as the service
+  answers, measuring sustained requests/s, latency quantiles and refusal
+  behaviour under overload.  Every request is accounted for: answered,
+  refused (503) or errored — nothing is silently dropped.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+from .client import RemoteGridServer, SchedulerClient
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..boinc.simulator import CampaignResult, VolunteerGridSimulation
+
+__all__ = ["replay_campaign", "storm", "StormReport"]
+
+
+def replay_campaign(
+    sim_model: "VolunteerGridSimulation",
+    url: str | SchedulerClient,
+    timeout: float = 60.0,
+) -> "CampaignResult":
+    """Replay ``sim_model``'s seeded campaign as a real RPC client.
+
+    The service must be serving the *same* campaign (same library, seed
+    and config) — the proxy verifies workunit count and deadline against
+    ``GET /`` before driving it, and raises :class:`ValueError` on
+    mismatch.  Returns the usual :class:`CampaignResult`; its ``server``
+    is the wire proxy, whose stats/completion come from the service's
+    final summary.
+    """
+    client = (
+        SchedulerClient.from_url(url, timeout=timeout)
+        if isinstance(url, str)
+        else url
+    )
+
+    def factory(*, sim, workunits, config, id_base, **_ignored):
+        return RemoteGridServer(
+            client, sim, workunits, config, id_base=id_base,
+        )
+
+    try:
+        return sim_model.run(server_factory=factory)
+    finally:
+        client.close()
+
+
+# -- open-loop storm ---------------------------------------------------------
+
+
+@dataclass
+class StormReport:
+    """What the storm sent and what came back (nothing unaccounted)."""
+
+    n_hosts: int
+    connections: int
+    sent: int = 0
+    answered: int = 0
+    ok: int = 0
+    errors: int = 0
+    refused: dict[str, int] = field(
+        default_factory=lambda: {"overload": 0, "draining": 0, "outage": 0}
+    )
+    assignments: int = 0
+    reports: int = 0
+    wall_s: float = 0.0
+    latencies_s: list[float] = field(default_factory=list, repr=False)
+
+    @property
+    def dropped(self) -> int:
+        """Requests that got *no* response at all (target: zero — a
+        refusal is an answer, a drop is a failure)."""
+        return self.sent - self.answered
+
+    @property
+    def refused_total(self) -> int:
+        return sum(self.refused.values())
+
+    @property
+    def requests_per_s(self) -> float:
+        return self.answered / self.wall_s if self.wall_s > 0 else 0.0
+
+    def latency_quantiles(self) -> dict[str, float]:
+        if not self.latencies_s:
+            return {}
+        ordered = sorted(self.latencies_s)
+        last = len(ordered) - 1
+        return {
+            f"p{q * 100:g}": ordered[min(last, int(q * len(ordered)))]
+            for q in (0.5, 0.9, 0.99)
+        }
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "n_hosts": self.n_hosts,
+            "connections": self.connections,
+            "sent": self.sent,
+            "answered": self.answered,
+            "dropped": self.dropped,
+            "ok": self.ok,
+            "errors": self.errors,
+            "refused": dict(self.refused),
+            "assignments": self.assignments,
+            "reports": self.reports,
+            "wall_s": self.wall_s,
+            "requests_per_s": self.requests_per_s,
+            "latency_s": self.latency_quantiles(),
+        }
+
+
+async def _raw_call(
+    reader: asyncio.StreamReader,
+    writer: asyncio.StreamWriter,
+    method: str,
+    path: str,
+    body: dict[str, Any] | None,
+) -> tuple[int, dict[str, Any]]:
+    """One keep-alive HTTP/1.1 exchange on an open connection."""
+    payload = json.dumps(body, separators=(",", ":")).encode() if body else b""
+    head = (
+        f"{method} {path} HTTP/1.1\r\n"
+        f"Host: storm\r\nContent-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    )
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    status_line = await reader.readline()
+    if not status_line:
+        raise ConnectionError("service closed the connection")
+    status = int(status_line.split()[1])
+    length = 0
+    while True:
+        hline = await reader.readline()
+        if hline in (b"\r\n", b"\n", b""):
+            break
+        if hline.lower().startswith(b"content-length:"):
+            length = int(hline.split(b":", 1)[1])
+    raw = await reader.readexactly(length) if length else b""
+    return status, json.loads(raw) if raw else {}
+
+
+async def _storm_worker(
+    host: str,
+    port: int,
+    host_ids: list[int],
+    t_step_s: float,
+    report_results: bool,
+    out: StormReport,
+) -> None:
+    reader, writer = await asyncio.open_connection(host, port)
+    try:
+        for i, host_id in enumerate(host_ids):
+            t = i * t_step_s
+            calls: list[tuple[str, str, dict[str, Any] | None]] = [
+                ("POST", "/v1/heartbeat", {"host": host_id}),
+                ("POST", "/v1/request-work", {"host": host_id, "t": t}),
+            ]
+            assignment = None
+            for method, path, body in calls:
+                out.sent += 1
+                t0 = time.perf_counter()
+                try:
+                    status, payload = await _raw_call(reader, writer, method, path, body)
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    return  # remaining requests on this conn count as dropped
+                out.latencies_s.append(time.perf_counter() - t0)
+                out.answered += 1
+                if status == 200:
+                    out.ok += 1
+                    if path.endswith("request-work"):
+                        assignment = payload.get("assignment")
+                        if assignment is not None:
+                            out.assignments += 1
+                elif status == 503:
+                    out.refused[payload.get("reason", "overload")] = (
+                        out.refused.get(payload.get("reason", "overload"), 0) + 1
+                    )
+                else:
+                    out.errors += 1
+            if report_results and assignment is not None:
+                out.sent += 1
+                t0 = time.perf_counter()
+                try:
+                    status, payload = await _raw_call(
+                        reader, writer, "POST", "/v1/report-result",
+                        {
+                            "token": assignment["token"],
+                            "valid": True,
+                            "accounted_cpu_s": assignment["cost_reference_s"],
+                            "t": t,
+                        },
+                    )
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    return
+                out.latencies_s.append(time.perf_counter() - t0)
+                out.answered += 1
+                if status == 200:
+                    out.ok += 1
+                    out.reports += 1
+                elif status == 503:
+                    out.refused[payload.get("reason", "overload")] = (
+                        out.refused.get(payload.get("reason", "overload"), 0) + 1
+                    )
+                else:
+                    out.errors += 1
+    finally:
+        writer.close()
+        try:
+            await writer.wait_closed()
+        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+            pass
+
+
+async def _storm(
+    host: str,
+    port: int,
+    n_hosts: int,
+    connections: int,
+    requests_per_host: int,
+    t_step_s: float,
+    report_results: bool,
+) -> StormReport:
+    report = StormReport(n_hosts=n_hosts, connections=connections)
+    # Round-robin the host-id space over the connections; every host id in
+    # [0, n_hosts) is exercised at least requests_per_host times in total.
+    ids = [h for _ in range(requests_per_host) for h in range(n_hosts)]
+    chunks = [ids[c::connections] for c in range(connections)]
+    t0 = time.perf_counter()
+    await asyncio.gather(
+        *(
+            _storm_worker(host, port, chunk, t_step_s, report_results, report)
+            for chunk in chunks
+            if chunk
+        )
+    )
+    report.wall_s = time.perf_counter() - t0
+    return report
+
+
+def storm(
+    url: str,
+    n_hosts: int = 10_000,
+    connections: int = 32,
+    requests_per_host: int = 1,
+    t_step_s: float = 1.0,
+    report_results: bool = True,
+) -> StormReport:
+    """Open-loop request storm against a running service (blocking).
+
+    Sweeps ``n_hosts`` distinct host ids over ``connections`` keep-alive
+    connections; each visit is a heartbeat + request-work pair (plus a
+    report-result when work was assigned).  The mutating requests carry a
+    slowly-advancing campaign time so issued work stays within the
+    horizon.  Returns a :class:`StormReport`; ``report.dropped == 0``
+    means the service answered every single request — refusals included.
+    """
+    client = SchedulerClient.from_url(url)
+    return asyncio.run(
+        _storm(
+            client.host, client.port, n_hosts, connections,
+            requests_per_host, t_step_s, report_results,
+        )
+    )

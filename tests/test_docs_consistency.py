@@ -1,11 +1,13 @@
-"""Doc-consistency checks for the observability layer.
+"""Doc-consistency checks for the observability and service layers.
 
 Tier-1-enforced invariants tying together the three places an event type
 exists: the taxonomy registry (``repro.obs.events.EVENT_TYPES``), the
 emitting code (``*.emit("...")`` call sites under ``src/repro``) and the
 taxonomy table in ``docs/observability.md``.  An event type present in
 one but missing from another fails here, so the docs cannot drift from
-the code.
+the code.  The same discipline applies to the scheduler service's wire
+protocol: the endpoint table in ``docs/service.md`` must list exactly
+the routes the service registers (``repro.service.ENDPOINTS``).
 """
 
 from __future__ import annotations
@@ -14,10 +16,13 @@ import re
 from pathlib import Path
 
 from repro.obs import CHANNELS, EVENT_TYPES, TRACE_SCHEMA_VERSION, channel_of
+from repro.service import ENDPOINTS, WIRE_PROTOCOL_VERSION
+from repro.service.app import ROUTES
 
 REPO = Path(__file__).resolve().parent.parent
 SRC = REPO / "src" / "repro"
 OBS_DOC = REPO / "docs" / "observability.md"
+SERVICE_DOC = REPO / "docs" / "service.md"
 
 #: an emit call site with a literal event type (possibly line-wrapped)
 _EMIT_RE = re.compile(r'\.emit\(\s*"([a-z_]+\.[a-z_]+)"')
@@ -77,6 +82,50 @@ def test_schema_version_documented():
     assert f"**Schema version:** {TRACE_SCHEMA_VERSION}" in text, (
         "docs/observability.md must state the current trace schema version "
         f"as '**Schema version:** {TRACE_SCHEMA_VERSION}'"
+    )
+
+
+#: a row of the docs/service.md endpoint table: | `METHOD` | `path` | ... |
+_ENDPOINT_ROW_RE = re.compile(r"^\|\s*`(GET|POST|PUT|DELETE)`\s*\|\s*`(/[^`]*)`\s*\|")
+
+
+def documented_endpoints() -> list[tuple[str, str]]:
+    """(method, path) rows of the endpoint table in docs/service.md."""
+    rows = []
+    for line in SERVICE_DOC.read_text(encoding="utf-8").splitlines():
+        match = _ENDPOINT_ROW_RE.match(line.strip())
+        if match:
+            rows.append((match.group(1), match.group(2)))
+    return rows
+
+
+def test_service_doc_endpoint_table_matches_registered_routes():
+    documented = documented_endpoints()
+    assert documented, "docs/service.md lost its endpoint table"
+    assert documented == [(m, p) for m, p, _ in ENDPOINTS], (
+        "the endpoint table in docs/service.md does not match "
+        "repro.service.ENDPOINTS (same rows, same order required)"
+    )
+    assert set(ROUTES) == {(m, p) for m, p, _ in ENDPOINTS}, (
+        "repro.service registers routes that ENDPOINTS does not declare"
+    )
+
+
+def test_service_doc_states_wire_protocol_version():
+    text = SERVICE_DOC.read_text(encoding="utf-8")
+    assert f"**Wire protocol version:** {WIRE_PROTOCOL_VERSION}" in text, (
+        "docs/service.md must state the current wire protocol version as "
+        f"'**Wire protocol version:** {WIRE_PROTOCOL_VERSION}'"
+    )
+
+
+def test_service_doc_documents_every_refusal_reason():
+    from repro.service.protocol import REFUSAL_REASONS
+
+    text = SERVICE_DOC.read_text(encoding="utf-8")
+    missing = sorted(r for r in REFUSAL_REASONS if f"`{r}`" not in text)
+    assert not missing, (
+        f"refusal reasons missing from docs/service.md: {missing}"
     )
 
 

@@ -1,0 +1,86 @@
+"""Execute every fenced Python example in docs/*.md.
+
+The usage guide and the service protocol reference are contracts: if an
+example on those pages stops running, the page is lying.  Each markdown
+file's ```python blocks execute in order in one shared namespace (so a
+later block may build on an earlier one, e.g. reading the trace file an
+earlier block wrote) with the working directory pointed at a temp dir
+(examples may create files; the repo stays clean).
+
+Escape hatch: a block whose first line is ``# doc-check: skip`` is
+compiled but not executed.  The reference pages (docs/usage.md,
+docs/service.md) are forbidden from using it — every example there must
+actually run.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+DOCS = REPO / "docs"
+DOC_FILES = sorted(DOCS.glob("*.md"))
+
+SKIP_MARK = "# doc-check: skip"
+
+#: pages where every Python example MUST execute (no skip marker allowed)
+FULLY_EXECUTABLE = ("usage.md", "service.md")
+
+_FENCE_OPEN = re.compile(r"^```python\s*$")
+_FENCE_CLOSE = re.compile(r"^```\s*$")
+
+
+def python_blocks(path: Path) -> list[tuple[int, str]]:
+    """(starting line number, source) of each ```python fence in *path*."""
+    blocks: list[tuple[int, str]] = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    inside = False
+    start = 0
+    buf: list[str] = []
+    for i, line in enumerate(lines, start=1):
+        if not inside and _FENCE_OPEN.match(line):
+            inside, start, buf = True, i + 1, []
+        elif inside and _FENCE_CLOSE.match(line):
+            inside = False
+            blocks.append((start, "\n".join(buf) + "\n"))
+        elif inside:
+            buf.append(line)
+    assert not inside, f"{path.name}: unterminated ```python fence at line {start}"
+    return blocks
+
+
+def _docs_with_python() -> list[Path]:
+    return [p for p in DOC_FILES if python_blocks(p)]
+
+
+@pytest.mark.parametrize("doc", _docs_with_python(), ids=lambda p: p.name)
+def test_doc_examples_execute(doc: Path, tmp_path, monkeypatch, capsys):
+    """Every ```python block in *doc* compiles; non-skipped ones run."""
+    monkeypatch.chdir(tmp_path)  # examples may write files (traces, workdirs)
+    namespace: dict = {"__name__": f"docscheck_{doc.stem}"}
+    for lineno, source in python_blocks(doc):
+        # pad so tracebacks and SyntaxErrors point at the real doc line
+        padded = "\n" * (lineno - 1) + source
+        code = compile(padded, str(doc.relative_to(REPO)), "exec")
+        if source.lstrip().startswith(SKIP_MARK):
+            continue
+        exec(code, namespace)  # noqa: S102 - executing our own documentation
+    capsys.readouterr()  # examples print; keep test output clean
+
+
+def test_reference_pages_never_skip_examples():
+    for name in FULLY_EXECUTABLE:
+        text = (DOCS / name).read_text(encoding="utf-8")
+        assert SKIP_MARK not in text, (
+            f"docs/{name} is a reference page: every Python example on it "
+            f"must execute (found a '{SKIP_MARK}' marker)"
+        )
+
+
+def test_known_pages_are_covered():
+    """The pages this PR documents actually carry executable examples."""
+    names = {p.name for p in _docs_with_python()}
+    assert {"usage.md", "service.md", "observability.md"} <= names
