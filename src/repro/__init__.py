@@ -21,6 +21,9 @@ substrates:
 * :mod:`repro.fluid` — the full-scale analytic campaign model;
 * :mod:`repro.analysis` / :mod:`repro.validation` — reporting and the
   Section 5.2 result checks;
+* :mod:`repro.store` — the packed columnar result store, the canonical
+  result format, with lossless text converters and the vectorized
+  check -> merge -> matrix pipeline (docs/resultstore.md);
 * :mod:`repro.obs` — campaign observability: structured event tracing,
   the metrics registry behind the telemetry, and profiling hooks
   (docs/observability.md).
@@ -65,6 +68,14 @@ from .maxdo.cost_model import CostModel
 from .maxdo.docking import MaxDoRun, dock_couple
 from .obs import MetricsRegistry, Profiler, Tracer
 from .proteins.library import ProteinLibrary
+from .store import (
+    ColumnarSegment,
+    ResultStore,
+    read_store,
+    store_to_text,
+    text_to_store,
+    write_store,
+)
 from .boinc import CampaignConfig, ShardPlan, scaled_phase1
 
 __version__ = "1.0.0"
@@ -92,6 +103,12 @@ __all__ = [
     "Profiler",
     "Tracer",
     "ProteinLibrary",
+    "ColumnarSegment",
+    "ResultStore",
+    "read_store",
+    "store_to_text",
+    "text_to_store",
+    "write_store",
     "CampaignConfig",
     "ShardPlan",
     "scaled_phase1",

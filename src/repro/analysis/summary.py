@@ -51,6 +51,8 @@ def full_report(seed: int = C.DEFAULT_SEED) -> str:
             ("total reference CPU", "1,488:237:19:45:54", estimate.total_ydhms),
             ("maximum workunits", C.TOTAL_MAX_WORKUNITS, estimate.max_workunits),
             ("result dataset (GB)", 123, volume.raw_bytes / 1e9),
+            ("columnar store (GB)", "-", volume.columnar_bytes / 1e9),
+            ("text / columnar ratio", "-", volume.columnar_ratio),
         ]),
         ("Section 4.2 / Figure 4 — packaging", [
             ("workunits at h=10", C.N_WORKUNITS_H10, plan_h10.total_workunits()),

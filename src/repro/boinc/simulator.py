@@ -632,19 +632,35 @@ class VolunteerGridSimulation:
         """First workunit id of this (shard of the) campaign."""
         return self.shard.wu_id_base if self.shard is not None else 0
 
-    def batch_result_bytes(self) -> list[int]:
+    def batch_result_bytes(self, result_format: str = "text") -> list[int]:
         """Result bytes shipped per receptor batch, by release position.
 
         Result volume ships when a receptor batch completes ("when one
         protein has been docked with the 168 others", Section 5.2): one
         line per (position, orientation couple) against every ligand.
+
+        ``result_format`` prices the shipment in either representation:
+        ``"text"`` (the paper's line-oriented files, 118 bytes/line — the
+        default, and what the shipment telemetry models) or ``"columnar"``
+        (the packed store of :mod:`repro.store`: 56 bytes/row plus one
+        segment frame per couple file in the batch).
         """
         from ..maxdo.resultfile import BYTES_PER_LINE
+        from ..store.format import ROW_BYTES, SEGMENT_OVERHEAD_BYTES
 
+        if result_format not in ("text", "columnar"):
+            raise ValueError(
+                f"result_format must be 'text' or 'columnar', "
+                f"got {result_format!r}"
+            )
         n = len(self.library)
+        if result_format == "text":
+            per_row, per_batch = BYTES_PER_LINE, 0
+        else:
+            per_row, per_batch = ROW_BYTES, n * SEGMENT_OVERHEAD_BYTES
         return [
             int(self.library.nsep[int(r)]) * n * constants.N_ROT_COUPLES
-            * BYTES_PER_LINE
+            * per_row + per_batch
             for r in self.campaign.release_order
         ]
 

@@ -8,6 +8,8 @@
     repro-hcmd compare                   # Table 2 equivalence, Section 6
     repro-hcmd project --weeks 40        # phase-II projection, Section 7
     repro-hcmd capacity --devices 836000 # server-capacity check, Section 3.2
+    repro-hcmd results convert out/ merged.rcs  # pack text results, columnar
+    repro-hcmd results check merged.rcs  # Section 5.2 checks, vectorized
     repro-hcmd trace campaign.jsonl      # replay a structured event trace
     repro-hcmd trace diff a.jsonl b.jsonl  # align two runs, report divergence
     repro-hcmd report --trace campaign.jsonl  # span-level post-mortem
@@ -163,6 +165,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--keep", type=float, default=0.01,
         help="fraction of docking points kept (phase II uses 0.01)",
     )
+
+    res = sub.add_parser(
+        "results", help="columnar result store tools: convert / check / "
+                        "merge / stats (see docs/resultstore.md)"
+    )
+    res_sub = res.add_subparsers(dest="results_command", required=True)
+    conv = res_sub.add_parser(
+        "convert", help="pack a directory of text result files into a "
+                        "columnar store, or expand a store back to text "
+                        "(the direction follows the source's type; the "
+                        "round trip is byte-identical)"
+    )
+    conv.add_argument(
+        "source", help="a directory of text result files, or a store file"
+    )
+    conv.add_argument(
+        "dest", help="the store file to write, or the directory to expand into"
+    )
+    chk = res_sub.add_parser(
+        "check", help="the Section 5.2 checks (file count, line counts, "
+                      "value ranges) as whole-column passes over a store"
+    )
+    chk.add_argument("store", help="columnar store file")
+    chk.add_argument(
+        "--files-expected", type=int, default=None,
+        help="check 1: expected segment count (default: skip check 1)",
+    )
+    mrg = res_sub.add_parser(
+        "merge", help="merge workunit chunk segments into one segment per "
+                      "couple (validates slice tiling, sorts by "
+                      "isep/irot/igamma)"
+    )
+    mrg.add_argument("store", help="chunked store file")
+    mrg.add_argument("out", help="merged store file to write")
+    st = res_sub.add_parser(
+        "stats", help="rows, couples and bytes in both result formats"
+    )
+    st.add_argument("store", help="columnar store file")
 
     trace = sub.add_parser(
         "trace", help="summarize a structured JSONL campaign trace, or "
@@ -386,6 +426,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     finally:
         if tracer is not None and ring is None:
             tracer.close()
+    from .validation.merge import dataset_volume
+
+    volume = dataset_volume(sim.library)
+    full_library = args.proteins == C.N_PROTEINS
     metrics = result.metrics()
     weeks = result.completion_weeks
     print(render_table(["quantity", "value", "paper"], [
@@ -398,6 +442,10 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         ["net speed-down", f"{metrics.speed_down_net:.2f}", "3.96"],
         ["points-based VFTP / truth",
          f"{result.vftp_from_credit() / result.vftp_from_useful_work():.2f}", "-"],
+        ["result dataset (text)", format_bytes(volume.raw_bytes),
+         "123 GB" if full_library else "-"],
+        ["result dataset (columnar)", format_bytes(volume.columnar_bytes), "-"],
+        ["text / columnar ratio", f"{volume.columnar_ratio:.2f}x", "-"],
     ]))
     if sharded and result.shard_walls is not None:
         walls = ", ".join(f"{w:.2f}s" for w in result.shard_walls)
@@ -423,6 +471,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
             report = CampaignReport.from_trace(args.trace)
             report.health = result.health
             report.fault_rows = fault_rows
+        report.volume = volume
         print()
         print(report.render())
     if args.trace is not None:
@@ -431,6 +480,88 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if profiler is not None:
         print("\nwall-time profile (heaviest sections first):")
         print(profiler.render())
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    try:
+        return _run_results(args)
+    except (OSError, ValueError) as exc:
+        # missing/corrupt store files and merge/conversion rejections are
+        # user errors, not tracebacks (same convention as loadgen)
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+def _run_results(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from .maxdo.resultfile import BYTES_PER_LINE
+    from .store import (
+        check_store,
+        merge_couple_store,
+        read_store,
+        store_to_text,
+        text_to_store,
+    )
+
+    if args.results_command == "convert":
+        source, dest = Path(args.source), Path(args.dest)
+        if source.is_dir():
+            paths = sorted(p for p in source.iterdir() if p.is_file())
+            if not paths:
+                print(f"error: no result files in {source}", file=sys.stderr)
+                return 2
+            text_bytes = sum(p.stat().st_size for p in paths)
+            n = text_to_store(paths, dest)
+            store_bytes = dest.stat().st_size
+            print(f"packed {n} text files ({format_bytes(text_bytes)}) -> "
+                  f"{dest} ({format_bytes(store_bytes)}, "
+                  f"{text_bytes / store_bytes:.2f}x smaller)")
+        else:
+            written = store_to_text(source, dest)
+            print(f"expanded {len(written)} segments from {source} -> {dest}")
+        return 0
+
+    if args.results_command == "check":
+        report = check_store(args.store, files_expected=args.files_expected)
+        rows = [
+            ["segments found", report.files_found],
+            ["segments expected",
+             report.files_expected if args.files_expected is not None else "-"],
+            ["bad line counts", len(report.files_with_bad_line_count)],
+            ["bad values", len(report.files_with_bad_values)],
+            ["verdict", "OK" if report.ok else "REJECTED"],
+        ]
+        print(render_table(["check", "value"], rows))
+        for name in report.files_with_bad_line_count:
+            print(f"  line count: {name}")
+        for name, problems in report.files_with_bad_values.items():
+            print(f"  values: {name}: {', '.join(problems)}")
+        return 0 if report.ok else 1
+
+    if args.results_command == "merge":
+        n_rows = merge_couple_store(args.store, args.out)
+        merged = read_store(args.out)
+        print(f"merged {n_rows:,} rows into {len(merged)} couple "
+              f"segment(s) -> {args.out}")
+        return 0
+
+    # stats
+    store = read_store(args.store)
+    store_bytes = Path(args.store).stat().st_size
+    header_bytes = sum(
+        len("\n".join(s.header.lines())) + 1 for s in store.segments
+    )
+    text_bytes = header_bytes + store.n_rows * BYTES_PER_LINE
+    print(render_table(["quantity", "value"], [
+        ["segments", len(store)],
+        ["couples", len(store.by_couple())],
+        ["rows", f"{store.n_rows:,}"],
+        ["store bytes", format_bytes(store_bytes)],
+        ["text-equivalent bytes", format_bytes(text_bytes)],
+        ["text / columnar ratio", f"{text_bytes / store_bytes:.2f}x"],
+    ]))
     return 0
 
 
@@ -759,6 +890,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "partners": _cmd_partners,
     "sites": _cmd_sites,
+    "results": _cmd_results,
     "trace": _cmd_trace,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,

@@ -345,6 +345,11 @@ def dock_couple(
     return result
 
 
+#: MaxDoRun result formats: line-oriented text (the paper's files) or the
+#: packed columnar store of :mod:`repro.store`
+_RESULT_FORMATS = ("text", "columnar")
+
+
 class MaxDoRun:
     """A checkpointed MAXDo workunit execution.
 
@@ -364,6 +369,13 @@ class MaxDoRun:
         under one engine resume cleanly under the other since the
         checkpoint granularity (a whole starting position) sits above
         the batching.
+    result_format:
+        ``"text"`` (default) streams the paper's line-oriented partial
+        file; ``"columnar"`` streams a packed store
+        (:mod:`repro.store`) instead — one appended segment per committed
+        starting position, rollback at segment boundaries, and a final
+        compaction into a one-segment ``.result.rcs``.  Converting the
+        columnar output to text reproduces the text run byte for byte.
     tracer:
         Structured event tracer for the ``docking.*`` channel; defaults
         to the process-global tracer (``repro.obs.tracing``) at run time.
@@ -382,8 +394,14 @@ class MaxDoRun:
         minimize: bool = True,
         max_iterations: int = 60,
         engine: str = "batched",
+        result_format: str = "text",
         tracer=None,
     ) -> None:
+        if result_format not in _RESULT_FORMATS:
+            raise ValueError(
+                f"result_format must be one of {_RESULT_FORMATS}, "
+                f"got {result_format!r}"
+            )
         self.receptor = receptor
         self.ligand = ligand
         self.isep_start = isep_start
@@ -394,6 +412,7 @@ class MaxDoRun:
         self.minimize = minimize
         self.max_iterations = max_iterations
         self.engine = _check_engine(engine)
+        self.result_format = result_format
         self.tracer = tracer
         self.workdir = Path(workdir)
         self.workdir.mkdir(parents=True, exist_ok=True)
@@ -407,19 +426,30 @@ class MaxDoRun:
         )
 
     @property
+    def columnar(self) -> bool:
+        return self.result_format == "columnar"
+
+    @property
     def partial_path(self) -> Path:
         stem = f"{self.receptor.name}_{self.ligand.name}_{self.isep_start}"
-        return self.workdir / f"{stem}.partial"
+        suffix = ".partial.rcs" if self.columnar else ".partial"
+        return self.workdir / f"{stem}{suffix}"
 
     @property
     def checkpoint_path(self) -> Path:
-        return self.partial_path.with_suffix(".ckpt")
+        stem = f"{self.receptor.name}_{self.ligand.name}_{self.isep_start}"
+        return self.workdir / f"{stem}.ckpt"
 
     def _load_state(self) -> Checkpoint:
         if self.checkpoint_path.exists():
             ckpt = Checkpoint.load(self.checkpoint_path)
-            # A kill mid-position leaves uncommitted lines: roll them back.
-            rollback_partial_results(self.partial_path, ckpt)
+            # A kill mid-position leaves uncommitted rows: roll them back.
+            if self.columnar:
+                from ..store.format import rollback_partial_store
+
+                rollback_partial_store(self.partial_path, ckpt.lines_committed)
+            else:
+                rollback_partial_results(self.partial_path, ckpt)
             return ckpt
         ckpt = Checkpoint(
             receptor=self.receptor.name,
@@ -430,9 +460,34 @@ class MaxDoRun:
             n_gamma=self.n_gamma,
             positions_done=0,
         )
-        write_results(self.partial_path, self._header, [])
+        if self.columnar:
+            from ..store.format import write_store
+
+            write_store(self.partial_path, [])
+        else:
+            write_results(self.partial_path, self._header, [])
         ckpt.save(self.checkpoint_path)
         return ckpt
+
+    def _position_records(self, isep, lj, el, fpos, feul) -> np.ndarray:
+        """One committed position as result records (best-of-gamma rows)."""
+        from .resultfile import RESULT_DTYPE
+
+        e_total = lj + el
+        best = e_total.argmin(axis=1)
+        couples = np.arange(self.n_couples)
+        records = np.zeros(self.n_couples, dtype=RESULT_DTYPE)
+        records["isep"] = isep
+        records["irot"] = couples + 1
+        records["igamma"] = best + 1
+        records["x"], records["y"], records["z"] = fpos[couples, best].T
+        records["alpha"], records["beta"], records["gamma"] = (
+            feul[couples, best].T
+        )
+        records["e_lj"] = lj[couples, best]
+        records["e_elec"] = el[couples, best]
+        records["e_tot"] = records["e_lj"] + records["e_elec"]
+        return records
 
     def run(self, max_positions: int | None = None) -> Checkpoint:
         """(Re)start the workunit; stop after ``max_positions`` positions.
@@ -457,7 +512,8 @@ class MaxDoRun:
                 minimize=self.minimize, n_workers=1,
             )
         done_now = 0
-        with self.partial_path.open("a", encoding="ascii") as fh:
+        sink = self._open_sink()
+        try:
             while not ckpt.complete:
                 if max_positions is not None and done_now >= max_positions:
                     break
@@ -474,18 +530,7 @@ class MaxDoRun:
                     self.max_iterations,
                     engine=self.engine,
                 )
-                e_total = lj + el
-                best = e_total.argmin(axis=1)
-                lines = [
-                    format_record(
-                        isep, c + 1, int(best[c]) + 1,
-                        fpos[c, best[c]], feul[c, best[c]],
-                        float(lj[c, best[c]]), float(el[c, best[c]]),
-                    )
-                    for c in range(self.n_couples)
-                ]
-                append_records(fh, lines)
-                fh.flush()
+                self._commit_position(sink, isep, lj, el, fpos, feul)
                 ckpt = ckpt.advanced()
                 ckpt.save(self.checkpoint_path)
                 done_now += 1
@@ -496,15 +541,76 @@ class MaxDoRun:
                         nsep=self.nsep, receptor=self.receptor.name,
                         ligand=self.ligand.name,
                     )
+        finally:
+            sink.close()
         return ckpt
 
+    def _open_sink(self):
+        if self.columnar:
+            from ..store.format import StoreWriter
+
+            return StoreWriter(self.partial_path)
+        return self.partial_path.open("a", encoding="ascii")
+
+    def _commit_position(self, sink, isep, lj, el, fpos, feul) -> None:
+        records = self._position_records(isep, lj, el, fpos, feul)
+        if self.columnar:
+            from ..store.format import ColumnarSegment, pack_records
+            from .resultfile import ResultHeader as RH
+
+            header = RH(
+                receptor=self.receptor.name,
+                ligand=self.ligand.name,
+                isep_start=isep,
+                nsep=1,
+                n_couples=self.n_couples,
+                n_gamma=self.n_gamma,
+            )
+            sink.append(
+                ColumnarSegment(header=header, packed=pack_records(records))
+            )
+        else:
+            from ..store.convert import render_lines
+
+            append_records(sink, render_lines(records))
+        sink.flush()
+
     def finalize(self) -> Path:
-        """Promote a complete partial file to its final result file."""
+        """Promote a complete partial file to its final result file.
+
+        In columnar mode the per-position chunk segments are additionally
+        compacted into a single segment carrying the workunit header —
+        the exact columnar twin of the text result file.
+        """
         ckpt = Checkpoint.load(self.checkpoint_path)
         if not ckpt.complete:
             raise RuntimeError(
                 f"workunit incomplete: {ckpt.positions_done}/{ckpt.nsep} positions"
             )
+        if self.columnar:
+            from ..store.format import (
+                PACKED_DTYPE,
+                ColumnarSegment,
+                iter_segments,
+                write_store,
+            )
+
+            chunks = list(iter_segments(self.partial_path))
+            packed = (
+                np.concatenate([c.packed for c in chunks])
+                if chunks
+                else np.zeros(0, dtype=PACKED_DTYPE)
+            )
+            final = self.partial_path.with_name(
+                self.partial_path.name.replace(".partial.rcs", ".result.rcs")
+            )
+            write_store(
+                final,
+                [ColumnarSegment(header=self._header, packed=packed)],
+            )
+            self.partial_path.unlink()
+            self.checkpoint_path.unlink()
+            return final
         final = self.partial_path.with_suffix(".result")
         self.partial_path.replace(final)
         self.checkpoint_path.unlink()
@@ -512,4 +618,17 @@ class MaxDoRun:
 
     def result_table(self):
         """Parse whatever the partial file currently holds."""
+        if self.columnar:
+            from ..store.format import PACKED_DTYPE, iter_segments, unpack_records
+            from .resultfile import ResultTable
+
+            chunks = list(iter_segments(self.partial_path))
+            packed = (
+                np.concatenate([c.packed for c in chunks])
+                if chunks
+                else np.zeros(0, dtype=PACKED_DTYPE)
+            )
+            return ResultTable(
+                header=self._header, records=unpack_records(packed)
+            )
         return read_results(self.partial_path)

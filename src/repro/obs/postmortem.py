@@ -49,6 +49,9 @@ class CampaignReport:
     health: Any = None
     #: optional fault error-budget rows from ``FaultReport.rows()``
     fault_rows: list | None = None
+    #: optional :class:`repro.validation.DatasetVolume` — the campaign's
+    #: merged result dataset, priced in both result formats
+    volume: Any = None
     source: str = "trace"
 
     @classmethod
@@ -126,6 +129,24 @@ class CampaignReport:
             ["tainted validations", c["tainted"]],
         ]
 
+    def dataset_rows(self) -> list[list[Any]]:
+        """Merged result-dataset size, text vs columnar (when a
+        :class:`~repro.validation.DatasetVolume` was attached)."""
+        v = self.volume
+        if v is None:
+            return []
+        from ..units import format_bytes
+
+        return [
+            ["merged result files", f"{v.n_files:,}"],
+            ["result rows", f"{v.total_lines:,}"],
+            ["text format",
+             f"{format_bytes(v.raw_bytes)} "
+             f"({format_bytes(v.compressed_bytes)} compressed)"],
+            ["columnar store", format_bytes(v.columnar_bytes)],
+            ["text / columnar ratio", f"{v.columnar_ratio:.2f}x"],
+        ]
+
     def latency_rows(self) -> list[list[Any]]:
         """Exact offline percentiles of the reconstructed span latencies."""
         rows = []
@@ -188,6 +209,12 @@ class CampaignReport:
                 )
                 + "\n(makespan/latency/report columns in hours; "
                   "active_hours in hours of device compute)"
+            )
+        dataset = self.dataset_rows()
+        if dataset:
+            sections.append(
+                heading("Result dataset (both formats)") + "\n"
+                + table(["quantity", "value"], dataset)
             )
         sections.append(
             heading("Fault error budget") + "\n"

@@ -56,6 +56,8 @@ class CrossDockingMatrix:
 
     energies: np.ndarray  #: (n, n); entry [i, j] = receptor i, ligand j
     complexes: list[tuple[int, int]] = field(default_factory=list)
+    #: protein names behind the matrix axes (set by :meth:`from_store`)
+    names: list[str] | None = None
 
     def __post_init__(self) -> None:
         e = np.asarray(self.energies, dtype=np.float64)
@@ -76,6 +78,29 @@ class CrossDockingMatrix:
         return np.minimum(self.energies, self.energies.T)
 
     # -- constructors --------------------------------------------------------
+
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        names: list[str] | None = None,
+        complexes: list[tuple[int, int]] | None = None,
+    ) -> "CrossDockingMatrix":
+        """Reduce a columnar result store to the energy matrix.
+
+        ``store`` is a :class:`repro.store.ResultStore` (or a store file
+        path); the matrix entry for each (receptor, ligand) couple is the
+        minimum ``e_tot`` over the couple's rows, read straight off the
+        packed columns — no text parse, no per-line loop.  Couples absent
+        from the store stay ``+inf``.  ``names`` fixes the protein order
+        (default: first-seen order in the store).
+        """
+        from ..store.pipeline import energy_matrix
+
+        energies, resolved = energy_matrix(store, names=names)
+        matrix = cls(energies=energies, complexes=list(complexes or []))
+        matrix.names = resolved
+        return matrix
 
     @classmethod
     def from_docking(

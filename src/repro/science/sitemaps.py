@@ -54,7 +54,9 @@ class SiteMaps:
     #: (m, 3) unit vectors of the shared position grid; None after pruning
     #: (surviving positions differ per receptor, so no common grid exists)
     directions: np.ndarray | None
-    planted_sites: np.ndarray  #: (n, m) bool interface masks
+    #: (n, m) bool interface masks; None when no ground truth exists
+    #: (maps extracted from real result data carry no planted sites)
+    planted_sites: np.ndarray | None
     complexes: list[tuple[int, int]] = field(default_factory=list)
 
     def __post_init__(self) -> None:
@@ -63,7 +65,10 @@ class SiteMaps:
             raise ValueError(f"energies must be (n, n, m), got {e.shape}")
         if self.directions is not None and self.directions.shape != (e.shape[2], 3):
             raise ValueError("directions must match the position count")
-        if self.planted_sites.shape != (e.shape[0], e.shape[2]):
+        if (
+            self.planted_sites is not None
+            and self.planted_sites.shape != (e.shape[0], e.shape[2])
+        ):
             raise ValueError("planted_sites must be (n, m)")
         self.energies = e
 
@@ -134,6 +139,37 @@ class SiteMaps:
             complexes=list(complexes),
         )
 
+    @classmethod
+    def from_store(
+        cls,
+        store,
+        names: list[str] | None = None,
+        n_positions: int | None = None,
+        complexes: list[tuple[int, int]] | None = None,
+    ) -> "SiteMaps":
+        """Extract position-resolved maps from a columnar result store.
+
+        ``energies[i, j, k]`` becomes the minimum ``e_tot`` over the
+        orientation rows at starting position ``k+1`` for the
+        (receptor ``i``, ligand ``j``) couple — read as grouped column
+        minima straight off the packed store, the reduction a merged
+        result file undergoes along the position axis.  Real data carries
+        no planted ground truth, so ``planted_sites`` (and ``directions``)
+        are ``None``; the consensus-site analysis still applies with an
+        explicit ``n_site``.
+        """
+        from ..store.pipeline import position_energy_maps
+
+        maps, _resolved = position_energy_maps(
+            store, names=names, n_positions=n_positions
+        )
+        return cls(
+            energies=maps,
+            directions=None,
+            planted_sites=None,
+            complexes=list(complexes or []),
+        )
+
     # -- site analysis -------------------------------------------------------
 
     def consensus_scores(self, receptor: int) -> np.ndarray:
@@ -157,6 +193,10 @@ class SiteMaps:
         same-size overlap comparison.
         """
         if n_site is None:
+            if self.planted_sites is None:
+                raise ValueError(
+                    "no planted ground truth: pass n_site explicitly"
+                )
             n_site = int(self.planted_sites[receptor].sum())
         if not 1 <= n_site <= self.n_positions:
             raise ValueError("n_site out of range")
@@ -165,6 +205,8 @@ class SiteMaps:
 
     def site_recovery(self) -> float:
         """Mean fraction of planted interface positions recovered."""
+        if self.planted_sites is None:
+            raise ValueError("no planted ground truth to recover")
         hits = []
         for i in range(self.n_proteins):
             predicted = self.predicted_site(i)
@@ -196,7 +238,11 @@ class SiteMaps:
         energies = np.take_along_axis(
             self.energies, kept[:, None, :], axis=2
         )
-        planted = np.take_along_axis(self.planted_sites, kept, axis=1)
+        planted = (
+            np.take_along_axis(self.planted_sites, kept, axis=1)
+            if self.planted_sites is not None
+            else None
+        )
         return SiteMaps(
             energies=energies,
             directions=None,

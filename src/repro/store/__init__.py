@@ -1,0 +1,75 @@
+"""``repro.store`` — the packed columnar result store.
+
+The canonical result format of the reproduction: fixed-point packed numpy
+record columns (:data:`PACKED_DTYPE`, 56 bytes/row vs the text format's
+118), per-couple segments behind a versioned header, an append-friendly
+writer for the checkpointed producer, lossless text converters, and the
+vectorized check -> merge -> matrix pipeline that replaces the
+line-oriented post-processing of Section 5.2.
+
+See ``docs/resultstore.md`` for the on-disk layout and conversion
+guarantees, and ``benchmarks/bench_resultstore.py`` for the measured
+pipeline speedup (``BENCH_resultstore.json``).
+"""
+
+from .convert import (
+    header_only_segment,
+    render_lines,
+    segment_from_text,
+    segment_to_text,
+    store_to_text,
+    text_to_store,
+)
+from .format import (
+    PACKED_DTYPE,
+    ROW_BYTES,
+    SEGMENT_OVERHEAD_BYTES,
+    STORE_MAGIC,
+    STORE_VERSION,
+    ColumnarSegment,
+    ResultStore,
+    StoreWriter,
+    iter_segments,
+    pack_records,
+    read_store,
+    rollback_partial_store,
+    unpack_records,
+    write_store,
+)
+from .pipeline import (
+    check_segment,
+    check_store,
+    energy_matrix,
+    merge_couple_store,
+    merge_segments,
+    position_energy_maps,
+)
+
+__all__ = [
+    "PACKED_DTYPE",
+    "ROW_BYTES",
+    "SEGMENT_OVERHEAD_BYTES",
+    "STORE_MAGIC",
+    "STORE_VERSION",
+    "ColumnarSegment",
+    "ResultStore",
+    "StoreWriter",
+    "check_segment",
+    "check_store",
+    "energy_matrix",
+    "header_only_segment",
+    "iter_segments",
+    "merge_couple_store",
+    "merge_segments",
+    "pack_records",
+    "position_energy_maps",
+    "read_store",
+    "render_lines",
+    "rollback_partial_store",
+    "segment_from_text",
+    "segment_to_text",
+    "store_to_text",
+    "text_to_store",
+    "unpack_records",
+    "write_store",
+]

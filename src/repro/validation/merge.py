@@ -5,6 +5,11 @@ in several files; "when the files were checked, we merged result files in
 order to have one result file for one couple of proteins.  All these result
 files represents 123 Gb of text files (45 Gb compressed) and there are
 168^2 files."
+
+:class:`DatasetVolume` models that dataset in **both** result formats: the
+line-oriented text files the paper shipped (118 bytes/line) and the packed
+columnar store (:mod:`repro.store`, 56 bytes/row plus per-file framing)
+that this reproduction uses as its canonical format.
 """
 
 from __future__ import annotations
@@ -18,7 +23,6 @@ from .. import constants
 from ..maxdo.resultfile import (
     BYTES_PER_LINE,
     ResultHeader,
-    format_record,
     read_results,
     write_results,
 )
@@ -31,25 +35,33 @@ def merge_couple_results(chunk_paths: list[Path | str], out_path: Path | str) ->
     """Merge one couple's workunit result files into a single file.
 
     Chunks must belong to the same couple, tile ``[1..Nsep]`` exactly
-    (no gap, no overlap) and pass individual parsing; the merged file is
-    sorted by ``(isep, irot, igamma)``.  Returns the merged line count.
+    (no gap, no overlap, no duplicate slice) and pass individual parsing;
+    the merged file is sorted by ``(isep, irot, igamma)``.  Tiling errors
+    name the offending chunk file.  Returns the merged line count.
     """
     if not chunk_paths:
         raise ValueError("nothing to merge")
+    chunk_paths = [Path(p) for p in chunk_paths]
     tables = [read_results(p) for p in chunk_paths]
     first = tables[0].header
-    for t in tables:
+    for t, p in zip(tables, chunk_paths):
         if (t.header.receptor, t.header.ligand) != (first.receptor, first.ligand):
             raise ValueError(
-                f"cannot merge couples {t.header.receptor}-{t.header.ligand} and "
-                f"{first.receptor}-{first.ligand}"
+                f"cannot merge couples {t.header.receptor}-{t.header.ligand} "
+                f"({p.name}) and {first.receptor}-{first.ligand} "
+                f"({chunk_paths[0].name})"
             )
-    slices = sorted((t.header.isep_start, t.header.nsep) for t in tables)
+    slices = sorted(
+        (t.header.isep_start, t.header.nsep, p.name)
+        for t, p in zip(tables, chunk_paths)
+    )
     cursor = 1
-    for start, nsep in slices:
+    for start, nsep, name in slices:
         if start != cursor:
             kind = "overlap" if start < cursor else "gap"
-            raise ValueError(f"isep {kind} at {start} (expected {cursor})")
+            raise ValueError(
+                f"isep {kind} at {start} (expected {cursor}) in {name}"
+            )
         cursor = start + nsep
     total_nsep = cursor - 1
 
@@ -64,28 +76,19 @@ def merge_couple_results(chunk_paths: list[Path | str], out_path: Path | str) ->
         n_couples=first.n_couples,
         n_gamma=first.n_gamma,
     )
-    lines = (
-        format_record(
-            int(r["isep"]),
-            int(r["irot"]),
-            int(r["igamma"]),
-            np.array([r["x"], r["y"], r["z"]]),
-            np.array([r["alpha"], r["beta"], r["gamma"]]),
-            float(r["e_lj"]),
-            float(r["e_elec"]),
-        )
-        for r in records
-    )
-    return write_results(out_path, header, lines)
+    from ..store.convert import render_lines
+
+    return write_results(out_path, header, render_lines(records))
 
 
 @dataclass(frozen=True)
 class DatasetVolume:
-    """Projected size of the merged result dataset."""
+    """Projected size of the merged result dataset, in both formats."""
 
     n_files: int
     total_lines: int
-    raw_bytes: int
+    raw_bytes: int  #: line-oriented text (the paper's 123 GB)
+    columnar_bytes: int = 0  #: packed columnar store (repro.store)
     #: text compresses roughly 2.7:1 (paper: 123 GB -> 45 GB)
     compression_ratio: float = 123.0 / 45.0
 
@@ -101,17 +104,34 @@ class DatasetVolume:
     def compressed_gib(self) -> float:
         return self.compressed_bytes / 1024**3
 
+    @property
+    def columnar_gib(self) -> float:
+        return self.columnar_bytes / 1024**3
+
+    @property
+    def columnar_ratio(self) -> float:
+        """Text bytes per columnar byte (>1 = the store is smaller)."""
+        if not self.columnar_bytes:
+            return float("nan")
+        return self.raw_bytes / self.columnar_bytes
+
 
 def dataset_volume(library: ProteinLibrary) -> DatasetVolume:
     """Volume of the full phase-style dataset for ``library``.
 
     One merged file per ordered couple; one line per
-    (starting position, orientation couple) optimum.
+    (starting position, orientation couple) optimum.  ``columnar_bytes``
+    prices the same rows in the packed store (56 bytes/row + per-segment
+    framing) — the store's lazy import keeps this module import-light.
     """
+    from ..store.format import ROW_BYTES, SEGMENT_OVERHEAD_BYTES
+
     n = len(library)
     lines = int(library.nsep.sum()) * n * constants.N_ROT_COUPLES
+    n_files = n * n
     return DatasetVolume(
-        n_files=n * n,
+        n_files=n_files,
         total_lines=lines,
         raw_bytes=lines * BYTES_PER_LINE,
+        columnar_bytes=lines * ROW_BYTES + n_files * SEGMENT_OVERHEAD_BYTES,
     )

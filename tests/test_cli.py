@@ -152,3 +152,106 @@ class TestScienceCommands:
         with pytest.raises(ValueError):
             main(["sites", "--proteins", "20", "--positions", "100",
                   "--keep", "0.0"])
+
+
+class TestResultsCommands:
+    """The `results` subcommands: convert / check / merge / stats."""
+
+    @pytest.fixture
+    def text_dir(self, tmp_path):
+        import numpy as np
+
+        from repro.maxdo.resultfile import (
+            RESULT_DTYPE, ResultHeader, write_results,
+        )
+        from repro.rng import stream
+        from repro.store import render_lines
+
+        rng = stream(31, "cli-results")
+        src = tmp_path / "uploads"
+        src.mkdir()
+        for ligand in ("P002", "P003"):
+            for k in range(2):
+                nsep, n_rot = 3, 4
+                n = nsep * n_rot
+                rec = np.zeros(n, dtype=RESULT_DTYPE)
+                rec["isep"] = np.repeat(
+                    np.arange(1 + k * nsep, 1 + (k + 1) * nsep), n_rot
+                )
+                rec["irot"] = np.tile(np.arange(1, n_rot + 1), nsep)
+                rec["igamma"] = rng.integers(1, 7, size=n)
+                for f in ("x", "y", "z"):
+                    rec[f] = np.round(rng.normal(0.0, 40.0, n), 3)
+                for f in ("alpha", "beta", "gamma"):
+                    rec[f] = np.round(rng.uniform(0.0, 6.28, n), 4)
+                rec["e_lj"] = np.round(rng.normal(-30.0, 12.0, n), 4)
+                rec["e_elec"] = np.round(rng.normal(-8.0, 4.0, n), 4)
+                rec["e_tot"] = np.round(rec["e_lj"] + rec["e_elec"], 4)
+                header = ResultHeader(
+                    receptor="P001", ligand=ligand,
+                    isep_start=1 + k * nsep, nsep=nsep,
+                    n_couples=n_rot, n_gamma=6,
+                )
+                write_results(
+                    src / f"P001_{ligand}_{header.isep_start}.result",
+                    header, render_lines(rec),
+                )
+        return src
+
+    def test_convert_roundtrip_zero_diff(self, text_dir, tmp_path, capsys):
+        store = tmp_path / "all.rcs"
+        assert main(["results", "convert", str(text_dir), str(store)]) == 0
+        assert "packed 4 text files" in capsys.readouterr().out
+        back = tmp_path / "back"
+        assert main(["results", "convert", str(store), str(back)]) == 0
+        assert "expanded 4 segments" in capsys.readouterr().out
+        originals = sorted(text_dir.iterdir())
+        restored = sorted(back.iterdir())
+        assert [p.name for p in restored] == [p.name for p in originals]
+        for orig, rest in zip(originals, restored):
+            assert rest.read_bytes() == orig.read_bytes()
+
+    def test_check_ok(self, text_dir, tmp_path, capsys):
+        store = tmp_path / "all.rcs"
+        main(["results", "convert", str(text_dir), str(store)])
+        capsys.readouterr()
+        assert main([
+            "results", "check", str(store), "--files-expected", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out and "segments found" in out
+
+    def test_check_rejects_corruption_with_exit_1(
+        self, text_dir, tmp_path, capsys
+    ):
+        # Corrupt one upload's energies before converting.
+        victim = sorted(text_dir.iterdir())[0]
+        lines = victim.read_text(encoding="ascii").splitlines()
+        lines[-1] = lines[-1][:-13] + "% 13.4f" % 9.9e6
+        victim.write_text("\n".join(lines) + "\n", encoding="ascii")
+        store = tmp_path / "all.rcs"
+        main(["results", "convert", str(text_dir), str(store)])
+        capsys.readouterr()
+        assert main(["results", "check", str(store)]) == 1
+        out = capsys.readouterr().out
+        assert "REJECTED" in out
+        assert victim.name in out
+
+    def test_merge_and_stats(self, text_dir, tmp_path, capsys):
+        store = tmp_path / "all.rcs"
+        merged = tmp_path / "merged.rcs"
+        main(["results", "convert", str(text_dir), str(store)])
+        capsys.readouterr()
+        assert main(["results", "merge", str(store), str(merged)]) == 0
+        assert "into 2 couple segment(s)" in capsys.readouterr().out
+        assert main(["results", "stats", str(merged)]) == 0
+        out = capsys.readouterr().out
+        assert "couples" in out
+        assert "text / columnar ratio" in out
+
+    def test_simulate_summary_shows_both_formats(self, capsys):
+        assert main(["simulate", "--scale", "500", "--proteins", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "result dataset (text)" in out
+        assert "result dataset (columnar)" in out
+        assert "text / columnar ratio" in out

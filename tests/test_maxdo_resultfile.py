@@ -13,6 +13,7 @@ from repro.maxdo.resultfile import (
     expected_line_count,
     format_record,
     read_results,
+    read_results_reference,
     write_results,
 )
 
@@ -89,6 +90,74 @@ class TestRoundtrip:
         rec = read_results(path).records[0]
         assert rec["e_lj"] == pytest.approx(e_lj, abs=1e-4)
         assert rec["e_elec"] == pytest.approx(e_elec, abs=1e-4)
+
+
+class TestVectorizedParserEquivalence:
+    """The vectorized ``read_results`` against the per-line reference.
+
+    ``read_results_reference`` is the slow oracle kept for exactly this:
+    the fast parser must return the same header and bit-identical records
+    on well-formed files, and reject the same malformed ones.
+    """
+
+    def _golden(self, tmp_path, nsep=4, n_couples=3):
+        rng = np.random.default_rng(7)
+        lines = []
+        for i in range(nsep):
+            for j in range(n_couples):
+                lines.append(format_record(
+                    i + 1, j + 1, int(rng.integers(1, 11)),
+                    rng.normal(0.0, 50.0, 3), rng.uniform(-3.14, 3.14, 3),
+                    float(np.round(rng.normal(-30.0, 10.0), 4)),
+                    float(np.round(rng.normal(-5.0, 3.0), 4)),
+                ))
+        path = tmp_path / "g.result"
+        write_results(path, _header(nsep=nsep, n_couples=n_couples), lines)
+        return path
+
+    def test_bitwise_identical_on_golden_file(self, tmp_path):
+        path = self._golden(tmp_path)
+        fast = read_results(path)
+        slow = read_results_reference(path)
+        assert fast.header == slow.header
+        assert len(fast) == len(slow)
+        for name in fast.records.dtype.names:
+            assert np.array_equal(fast.records[name], slow.records[name]), name
+
+    def test_identical_on_empty_file(self, tmp_path):
+        path = tmp_path / "e.result"
+        write_results(path, _header(), [])
+        fast = read_results(path)
+        slow = read_results_reference(path)
+        assert fast.header == slow.header
+        assert len(fast) == len(slow) == 0
+
+    def test_wide_extreme_values_parse_identically(self, tmp_path):
+        line = format_record(
+            9_999_999, 21, 10,
+            np.array([-499.999, 499.999, 0.0]),
+            np.array([-3.1416, 3.1416, -3.1416]),
+            -99999.9999, 99999.9999,
+        )
+        path = tmp_path / "w.result"
+        write_results(path, _header(nsep=1, n_couples=1), [line])
+        fast = read_results(path).records
+        slow = read_results_reference(path).records
+        assert fast.tobytes() == slow.tobytes()
+
+    @pytest.mark.parametrize("payload", [
+        "1 2 3 4\n",                        # wrong column count
+        "not numbers at all here pal\n",    # garbage tokens
+    ])
+    def test_both_reject_malformed(self, tmp_path, payload):
+        path = tmp_path / "bad.result"
+        path.write_text(
+            "\n".join(_header().lines()) + "\n" + payload, encoding="ascii"
+        )
+        with pytest.raises(ValueError):
+            read_results(path)
+        with pytest.raises(ValueError):
+            read_results_reference(path)
 
 
 class TestMalformed:

@@ -1,0 +1,135 @@
+"""Property-based tests of the columnar store's lossless-conversion pledge.
+
+For arbitrary text-representable result tables — including range-edge
+energies near the check thresholds and maximal ``isep`` slices at the
+widest the ``%7d`` column ever prints — both conversion directions must
+be byte-identical round trips:
+
+* text -> columnar -> text reproduces the file byte for byte;
+* columnar -> text -> columnar reproduces the packed columns bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.maxdo.resultfile import RESULT_DTYPE, ResultHeader, write_results
+from repro.store import (
+    ColumnarSegment,
+    render_lines,
+    segment_from_text,
+    segment_to_text,
+)
+
+pytestmark = pytest.mark.store
+
+#: maximal isep slice the %7d column prints without widening
+MAX_ISEP = 9_999_999
+
+
+def _quantized(lo, hi, decimals):
+    """Floats that survive the fixed-point text formats exactly."""
+    scale = 10**decimals
+    return st.integers(
+        min_value=int(lo * scale), max_value=int(hi * scale)
+    ).map(lambda k: k / scale)
+
+
+@st.composite
+def result_tables(draw):
+    """A small arbitrary result table plus a consistent header.
+
+    Values stay within what the fixed text formats represent exactly, but
+    deliberately reach the range edges: coordinates to ±499.999, energies
+    to ±99_999.9999 (both sides of the 1e6 check threshold's printable
+    range), and isep slices ending at ``MAX_ISEP``.
+    """
+    nsep = draw(st.integers(min_value=1, max_value=4))
+    n_rot = draw(st.integers(min_value=1, max_value=5))
+    n_gamma = draw(st.integers(min_value=1, max_value=12))
+    isep_start = draw(
+        st.one_of(
+            st.integers(min_value=1, max_value=50),
+            st.just(MAX_ISEP - nsep + 1),
+        )
+    )
+    n = nsep * n_rot
+    rec = np.zeros(n, dtype=RESULT_DTYPE)
+    rec["isep"] = np.repeat(np.arange(isep_start, isep_start + nsep), n_rot)
+    rec["irot"] = np.tile(np.arange(1, n_rot + 1), nsep)
+    rec["igamma"] = draw(
+        st.lists(
+            st.integers(min_value=1, max_value=n_gamma),
+            min_size=n, max_size=n,
+        )
+    )
+    coord = _quantized(-499.999, 499.999, 3)
+    angle = _quantized(-9.9999, 9.9999, 4)
+    energy = _quantized(-99_999.9999, 99_999.9999, 4)
+    for field, strat in (
+        ("x", coord), ("y", coord), ("z", coord),
+        ("alpha", angle), ("beta", angle), ("gamma", angle),
+        ("e_lj", energy), ("e_elec", energy),
+    ):
+        rec[field] = draw(st.lists(strat, min_size=n, max_size=n))
+    # e_tot is the formatted sum, kept representable (|sum| < 1e5 always
+    # holds at these bounds only up to rounding; clip via the same round
+    # the producer applies).
+    rec["e_tot"] = np.round(rec["e_lj"] + rec["e_elec"], 4)
+    header = ResultHeader(
+        receptor="RCPT", ligand="LGND", isep_start=isep_start,
+        nsep=nsep, n_couples=n_rot, n_gamma=n_gamma,
+    )
+    return header, rec
+
+
+class TestRoundTripProperties:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        # tmp_path reuse across examples is safe: every example overwrites
+        # its files before reading them back
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(table=result_tables())
+    def test_text_to_columnar_to_text_byte_identical(self, table, tmp_path):
+        header, rec = table
+        src = tmp_path / "src.result"
+        write_results(src, header, render_lines(rec))
+        out = tmp_path / "back.result"
+        segment_to_text(segment_from_text(src), out)
+        assert out.read_bytes() == src.read_bytes()
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        # tmp_path reuse across examples is safe: every example overwrites
+        # its files before reading them back
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(table=result_tables())
+    def test_columnar_to_text_to_columnar_bit_identical(self, table, tmp_path):
+        header, rec = table
+        seg = ColumnarSegment.from_records(header, rec)
+        mid = tmp_path / "mid.result"
+        segment_to_text(seg, mid)
+        back = segment_from_text(mid)
+        assert back.header == seg.header
+        assert back.packed.tobytes() == seg.packed.tobytes()
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        # tmp_path reuse across examples is safe: every example overwrites
+        # its files before reading them back
+        suppress_health_check=[HealthCheck.function_scoped_fixture],
+    )
+    @given(table=result_tables())
+    def test_unpacked_records_match_source_bitwise(self, table, tmp_path):
+        header, rec = table
+        seg = ColumnarSegment.from_records(header, rec)
+        for name in RESULT_DTYPE.names:
+            assert np.array_equal(seg.records[name], rec[name]), name
