@@ -26,13 +26,17 @@ substrates:
   check -> merge -> matrix pipeline (docs/resultstore.md);
 * :mod:`repro.obs` — campaign observability: structured event tracing,
   the metrics registry behind the telemetry, and profiling hooks
-  (docs/observability.md).
+  (docs/observability.md);
+* :mod:`repro.multi` — the multi-campaign grid: several campaigns
+  sharing one volunteer fleet under a fair-share / strict-priority /
+  weighted-lottery scheduler (docs/multicampaign.md).
 
 The top level is a façade: the handful of names most sessions need —
-:func:`scaled_phase1`, :class:`CampaignConfig`, :class:`FaultPlan`,
-:class:`MaxDoRun` / :func:`dock_couple`, :class:`Tracer` /
-:class:`Profiler` — import directly from :mod:`repro`; everything else
-stays addressable through its subpackage.
+:class:`Campaign` / :class:`GridConfig` and :func:`scaled_phase1` /
+:class:`CampaignConfig`, :class:`FaultPlan`, :class:`MaxDoRun` /
+:func:`dock_couple`, :class:`Tracer` / :class:`Profiler` — import
+directly from :mod:`repro`; everything else stays addressable through
+its subpackage.
 
 Quickstart — run a scaled phase-I campaign::
 
@@ -45,6 +49,17 @@ Quickstart — run a scaled phase-I campaign::
     cfg = CampaignConfig(faults=FaultPlan.from_spec("corrupt=0.1,loss=0.05"))
     degraded = scaled_phase1(scale=300, n_proteins=10, config=cfg).run()
     print(degraded.fault_report().as_dict())
+
+or share the fleet between campaigns (campaign-first API)::
+
+    from repro import Campaign, GridConfig
+    from repro.multi import MultiGridSimulation
+
+    grid = GridConfig(campaigns=(
+        Campaign.cross_docking("hcmd", scale=500, n_proteins=8, weight=3.0),
+        Campaign.screening("malaria", n_ligands=800, weight=1.0),
+    ))
+    print(MultiGridSimulation(grid).run().issued_share())
 
 or dock one protein couple with the MAXDo model::
 
@@ -77,6 +92,7 @@ from .store import (
     write_store,
 )
 from .boinc import CampaignConfig, ShardPlan, scaled_phase1
+from .multi import Campaign, GridConfig, MultiGridSimulation
 
 __version__ = "1.0.0"
 
@@ -112,5 +128,8 @@ __all__ = [
     "CampaignConfig",
     "ShardPlan",
     "scaled_phase1",
+    "Campaign",
+    "GridConfig",
+    "MultiGridSimulation",
     "__version__",
 ]

@@ -27,6 +27,7 @@ legacy keyword style still works through a deprecation shim —
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Any
 
@@ -104,5 +105,20 @@ class CampaignConfig:
 
     @classmethod
     def from_kwargs(cls, **kwargs: Any) -> "CampaignConfig":
-        """Build a config from legacy-style keyword arguments."""
+        """Build a config from legacy-style keyword arguments.
+
+        This is the migration adapter for the retired 16-keyword
+        ``VolunteerGridSimulation(**kwargs)`` constructor style; every
+        use emits a :class:`DeprecationWarning` (see the migration notes
+        in docs/usage.md).  New code constructs :class:`CampaignConfig`
+        directly — or starts from :class:`repro.Campaign` /
+        :class:`repro.GridConfig`, the campaign-first API.
+        """
+        warnings.warn(
+            "legacy keyword-style configuration is deprecated; construct "
+            "a CampaignConfig directly (server_config= becomes the "
+            "server= field) — see the migration notes in docs/usage.md",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         return cls(**cls._translate(kwargs))

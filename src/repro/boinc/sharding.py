@@ -68,7 +68,15 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from .server import ServerConfig
     from .simulator import CampaignResult, Telemetry, VolunteerGridSimulation
 
-__all__ = ["ShardPlan", "ShardSpec", "ShardOutput", "plan_shards", "run_sharded"]
+__all__ = [
+    "ShardPlan",
+    "ShardSpec",
+    "ShardOutput",
+    "plan_shards",
+    "run_sharded",
+    "merge_stats",
+    "merge_telemetry",
+]
 
 #: host-id stride between shards: shard ``k`` numbers its hosts from
 #: ``k * HOST_ID_STRIDE``, so host substreams (behavioural draws, fault
@@ -296,8 +304,13 @@ class MergedServerView:
         return self.completion_time is not None
 
 
-def _merge_stats(dst: ValidationStats, src: ValidationStats) -> None:
-    """Field-wise sum (the counters are all additive across shards)."""
+def merge_stats(dst: ValidationStats, src: ValidationStats) -> None:
+    """Field-wise sum (the counters are all additive across shards).
+
+    Public: the multi-campaign grid (:mod:`repro.multi`) folds
+    per-campaign stats into grid-global numbers with the same merge the
+    shard collator uses, so both aggregation paths stay one code path.
+    """
     for f in fields(ValidationStats):
         if f.name == "_by_regime":
             for regime, count in src._by_regime.items():
@@ -316,8 +329,8 @@ _DAILY_SERIES = (
 _HISTOGRAMS = ("campaign.run_active_hours",)
 
 
-def _merge_telemetry(dst: "Telemetry", src: "Telemetry") -> None:
-    """Fold one shard's telemetry into the merged accumulator.
+def merge_telemetry(dst: "Telemetry", src: "Telemetry") -> None:
+    """Fold one shard's (or campaign's) telemetry into the accumulator.
 
     Day-aligned: both registries were built over the same horizon, so
     the daily series add element-wise.  Lazily-created counters (the
@@ -472,8 +485,8 @@ def run_sharded(sim: "VolunteerGridSimulation") -> "CampaignResult":
     stats = ValidationStats()
     batch_completion: dict[int, float] = {}
     for out in outputs:
-        _merge_telemetry(telemetry, out.telemetry)
-        _merge_stats(stats, out.stats)
+        merge_telemetry(telemetry, out.telemetry)
+        merge_stats(stats, out.stats)
         batch_completion.update(out.batch_completion)
 
     completed = [out.completion_time for out in outputs]

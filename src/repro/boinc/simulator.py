@@ -32,7 +32,6 @@ docs/observability.md.
 
 from __future__ import annotations
 
-import warnings
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable
 
@@ -400,9 +399,10 @@ class VolunteerGridSimulation:
 
     (or equivalently :meth:`from_config`).  The historical 16-keyword
     style — ``VolunteerGridSimulation(library, cost_model, packaging=...,
-    server_config=..., seed=...)`` — still works through a deprecation
-    shim that folds the keywords into a config (``server_config`` maps to
-    the ``server`` field) and emits a :class:`DeprecationWarning`.
+    server_config=..., seed=...)`` — is retired: the keywords are folded
+    into a config by :meth:`CampaignConfig.from_kwargs`, which emits the
+    :class:`DeprecationWarning` (``server_config`` maps to the ``server``
+    field; migration notes in docs/usage.md).
     """
 
     def __init__(
@@ -423,13 +423,9 @@ class VolunteerGridSimulation:
                     "pass either a CampaignConfig or legacy keyword arguments, "
                     "not both: " + ", ".join(sorted(legacy))
                 )
-            warnings.warn(
-                "configuring VolunteerGridSimulation through individual "
-                "keyword arguments is deprecated; pass a CampaignConfig "
-                "(server_config= becomes the server= field)",
-                DeprecationWarning,
-                stacklevel=2,
-            )
+            # from_kwargs owns the DeprecationWarning (one warning per
+            # legacy entry point, pointing at the CampaignConfig field
+            # mapping and the docs/usage.md migration notes).
             config = CampaignConfig.from_kwargs(**legacy)
         if config is None:
             config = CampaignConfig()
@@ -853,15 +849,21 @@ def scaled_phase1(
     to_jsonl(path)`` records a structured campaign trace and
     ``profiler=Profiler()`` aggregates per-callback wall time (see
     docs/observability.md).
+
+    This function is a thin adapter over the campaign-first API: the
+    library and cost model come from
+    :class:`repro.multi.CrossDockingWorkload` (the workload a
+    ``Campaign.cross_docking(...)`` runs on a multi-campaign grid), so
+    both entry points materialize bit-identical campaigns.
     """
-    sum_nsep = max(
-        n_proteins,
-        round(constants.SUM_NSEP * n_proteins / constants.N_PROTEINS / scale),
+    # Imported lazily: repro.multi.engine imports this module, so a
+    # module-level import here would be circular.
+    from ..multi.workloads import CrossDockingWorkload
+
+    workload = CrossDockingWorkload(
+        scale=scale, n_proteins=n_proteins, target_hours=target_hours
     )
-    library = ProteinLibrary.synthetic(
-        n_proteins=n_proteins, sum_nsep=sum_nsep, seed=seed
-    )
-    cost_model = CostModel.calibrated(library, seed=seed)
+    library, cost_model = workload.library_and_costs(seed)
     if config is None:
         config = CampaignConfig()
     if config.packaging is None:

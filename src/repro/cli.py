@@ -5,6 +5,8 @@
     repro-hcmd estimate                  # formula (1), Section 4.1
     repro-hcmd package --hours 10        # workunit slicing, Section 4.2
     repro-hcmd simulate --scale 200      # scaled volunteer campaign, Section 5
+    repro-hcmd simulate --campaign scale=500,proteins=8 \\
+        --campaign kind=screening,ligands=2000  # shared multi-campaign grid
     repro-hcmd compare                   # Table 2 equivalence, Section 6
     repro-hcmd project --weeks 40        # phase-II projection, Section 7
     repro-hcmd capacity --devices 836000 # server-capacity check, Section 3.2
@@ -46,6 +48,31 @@ from .units import format_bytes, format_duration, seconds_to_ydhms
 __all__ = ["main", "build_parser"]
 
 
+def _add_campaign_flag(p: argparse.ArgumentParser, repeatable: bool) -> None:
+    """The shared ``--campaign SPEC`` flag (parsed by repro.multi.spec).
+
+    One grammar across ``simulate``/``serve``/``loadgen``: a
+    comma-separated ``key=value`` spec selecting the workload kind and
+    campaign knobs.  ``simulate`` accepts the flag repeatedly and runs
+    the campaigns on one shared grid; ``serve``/``loadgen`` speak the
+    single-campaign wire protocol and accept exactly one.
+    """
+    extra = (
+        "; repeat the flag to share the grid between campaigns"
+        if repeatable
+        else "; serve/loadgen accept one cross-docking campaign "
+             "(the wire protocol is single-campaign)"
+    )
+    p.add_argument(
+        "--campaign", metavar="SPEC", action="append", default=None,
+        help="campaign spec: comma-separated key=value, e.g. "
+             "'name=hcmd,kind=cross-docking,scale=300,proteins=10' or "
+             "'kind=screening,ligands=2000,weight=2' "
+             "(overrides --scale/--proteins; see docs/multicampaign.md)"
+             + extra,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-hcmd",
@@ -72,6 +99,22 @@ def build_parser() -> argparse.ArgumentParser:
     simu = sub.add_parser("simulate", help="run a scaled volunteer campaign")
     simu.add_argument("--scale", type=float, default=200.0)
     simu.add_argument("--proteins", type=int, default=16)
+    _add_campaign_flag(simu, repeatable=True)
+    simu.add_argument(
+        "--policy", default="fair-share",
+        choices=("fair-share", "strict-priority", "weighted-lottery"),
+        help="multi-campaign scheduling policy (with --campaign; "
+             "see docs/multicampaign.md)",
+    )
+    simu.add_argument(
+        "--horizon-weeks", type=float, default=40.0,
+        help="grid horizon in simulated weeks (multi-campaign mode)",
+    )
+    simu.add_argument(
+        "--hosts-peak", type=int, default=None,
+        help="fix the peak host count (multi-campaign mode; "
+             "default: auto-sized from the registered work)",
+    )
     simu.add_argument(
         "--accounting", default="ud", choices=[m.value for m in AccountingMode]
     )
@@ -235,6 +278,7 @@ def build_parser() -> argparse.ArgumentParser:
     def campaign_flags(p: argparse.ArgumentParser) -> None:
         p.add_argument("--scale", type=float, default=200.0)
         p.add_argument("--proteins", type=int, default=16)
+        _add_campaign_flag(p, repeatable=False)
         p.add_argument(
             "--horizon-weeks", type=float, default=40.0,
             help="campaign horizon (simulated weeks)",
@@ -352,12 +396,88 @@ def _cmd_package(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_simulate_multi(args: argparse.Namespace) -> int:
+    """``simulate --campaign SPEC [--campaign SPEC ...]``: a shared grid."""
+    from .faults import FaultPlan
+    from .multi import GridConfig, MultiGridSimulation
+    from .multi.spec import CampaignSpecError, parse_campaign_spec
+    from .obs import Tracer
+
+    for flag, used in (
+        ("--shards", args.shards > 1),
+        ("--health", args.health),
+        ("--profile", args.profile),
+        ("--report", args.report),
+    ):
+        if used:
+            print(f"error: {flag} needs the single-campaign engine; "
+                  f"drop {flag} or --campaign", file=sys.stderr)
+            return 2
+    faults = (
+        FaultPlan.from_spec(args.faults)
+        if args.faults is not None
+        else FaultPlan.none()
+    )
+    try:
+        grid = GridConfig(
+            campaigns=tuple(parse_campaign_spec(s) for s in args.campaign),
+            policy=args.policy,
+            seed=args.seed,
+            horizon_weeks=args.horizon_weeks,
+            n_hosts_peak=args.hosts_peak,
+            faults=faults,
+            accounting=AccountingMode(args.accounting),
+        )
+    except (CampaignSpecError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    tracer = (
+        Tracer.to_jsonl(args.trace) if args.trace is not None else None
+    )
+    try:
+        result = MultiGridSimulation(grid, tracer=tracer).run()
+    finally:
+        if tracer is not None:
+            tracer.close()
+    shares = result.issued_share()
+    rows = []
+    for name, campaign_result in result.campaigns.items():
+        kind = type(grid.campaign(name).workload).__name__
+        weeks = campaign_result.completion_weeks
+        stats = campaign_result.server.stats
+        rows.append([
+            name,
+            "cross-docking" if kind == "CrossDockingWorkload" else "screening",
+            campaign_result.server.n_workunits,
+            stats.effective,
+            f"{weeks:.1f}" if weeks else "incomplete",
+            f"{shares.get(name, 0.0):.1%}",
+        ])
+    print(render_table(
+        ["campaign", "kind", "workunits", "validated", "weeks", "share"],
+        rows,
+    ))
+    merged = result.merged_stats()
+    grid_weeks = result.completion_time
+    print(f"\npolicy: {grid.policy}; hosts: {result.n_hosts}; "
+          f"grid completion: "
+          + (f"{grid_weeks / (7 * 86400):.1f} weeks"
+             if grid_weeks is not None else "incomplete")
+          + f"; validated results: {merged.effective:,}")
+    if args.trace is not None:
+        print(f"trace: -> {args.trace} "
+              f"(summarize with `repro-hcmd trace {args.trace}`)")
+    return 0
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     from .boinc.config import CampaignConfig
     from .boinc.simulator import scaled_phase1
     from .faults import FaultPlan
     from .obs import Profiler, Tracer
 
+    if args.campaign:
+        return _cmd_simulate_multi(args)
     sharded = args.shards > 1
     if sharded:
         if args.health:
@@ -738,34 +858,71 @@ def _service_campaign(args: argparse.Namespace):
     Both sides must build the identical campaign (same seed, scale,
     protein count, horizon and fault spec) for deterministic replay; the
     wire proxy verifies this against the service's discovery endpoint.
+    Returns ``(simulation, campaign_name)``; a ``--campaign SPEC``
+    overrides the ``--scale``/``--proteins`` shorthand (one cross-docking
+    campaign — the wire protocol is single-campaign).
     """
     from .boinc.config import CampaignConfig
     from .boinc.simulator import scaled_phase1
     from .faults import FaultPlan
 
+    name = "hcmd"
+    scale, n_proteins = args.scale, args.proteins
+    target_hours, release_policy = 3.65, "least-cost"
+    if args.campaign:
+        from .multi.spec import parse_campaign_spec
+        from .multi.workloads import CrossDockingWorkload
+
+        from .multi.spec import CampaignSpecError
+
+        if len(args.campaign) > 1:
+            raise CampaignSpecError(
+                "serve/loadgen speak the single-campaign wire protocol; "
+                "pass --campaign once (run several campaigns on one grid "
+                "with `simulate --campaign ... --campaign ...`)"
+            )
+        campaign = parse_campaign_spec(args.campaign[0])
+        if not isinstance(campaign.workload, CrossDockingWorkload):
+            raise CampaignSpecError(
+                "serve/loadgen front a cross-docking GridServer; use "
+                "kind=cross-docking (screening campaigns run under "
+                "`simulate --campaign`)"
+            )
+        name = campaign.name
+        scale = campaign.workload.scale
+        n_proteins = campaign.workload.n_proteins
+        target_hours = campaign.workload.target_hours
+        release_policy = campaign.workload.release_policy
     faults = (
         FaultPlan.from_spec(args.faults)
         if args.faults is not None
         else FaultPlan.none()
     )
-    return scaled_phase1(
-        scale=args.scale,
-        n_proteins=args.proteins,
+    sim = scaled_phase1(
+        scale=scale,
+        n_proteins=n_proteins,
         seed=args.seed,
+        target_hours=target_hours,
         horizon_weeks=args.horizon_weeks,
-        config=CampaignConfig(faults=faults),
+        config=CampaignConfig(faults=faults, release_policy=release_policy),
     )
+    return sim, name
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
     import asyncio
     import signal
 
+    from .multi.spec import CampaignSpecError
     from .obs import Tracer
     from .service import SchedulerService, ServiceConfig
 
     tracer = Tracer.to_jsonl(args.trace) if args.trace is not None else None
-    sim_model = _service_campaign(args)
+    try:
+        sim_model, campaign_name = _service_campaign(args)
+    except CampaignSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     service = SchedulerService(
         sim_model,
         config=ServiceConfig(
@@ -775,12 +932,14 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             time_scale=args.time_scale,
         ),
         tracer=tracer,
+        campaign=campaign_name,
     )
 
     async def _run() -> None:
         host, port = await service.start()
         print(
-            f"serving {service.server.n_workunits} workunits at "
+            f"serving campaign {campaign_name!r}: "
+            f"{service.server.n_workunits} workunits at "
             f"http://{host}:{port} (drive it with `repro-hcmd loadgen "
             f"http://{host}:{port}`; Ctrl-C drains and exits)",
             flush=True,
@@ -819,6 +978,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 def _cmd_loadgen(args: argparse.Namespace) -> int:
+    from .multi.spec import CampaignSpecError
     from .service import replay_campaign, storm
 
     if args.mode == "storm":
@@ -848,7 +1008,10 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         return 0 if report.dropped == 0 else 1
 
     try:
-        result = replay_campaign(_service_campaign(args), args.url)
+        result = replay_campaign(_service_campaign(args)[0], args.url)
+    except CampaignSpecError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     except OSError as exc:
         print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
         return 1
@@ -866,7 +1029,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         ["useful result fraction", f"{metrics.useful_result_fraction:.3f}"],
     ]))
     if args.reconcile:
-        reference = _service_campaign(args).run()
+        reference = _service_campaign(args)[0].run()
         match = (
             result.server.stats == reference.server.stats
             and result.completion_time == reference.completion_time

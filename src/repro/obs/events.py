@@ -72,6 +72,13 @@ EVENT_TYPES: dict[str, str] = {
                          "reissue-burn | validation-backlog)",
     "health.slo_clear": "a previously-breached SLO rule recovered (`rule`, "
                         "`breached_s` = simulated seconds spent in breach)",
+    # -- multi-campaign grid (repro.multi) ----------------------------------
+    "grid.admit": "a campaign was admitted to the grid's candidate set "
+                  "(at t=0 or mid-run at its `submit_week`)",
+    "grid.drain": "a campaign was drained: no new issues, outstanding "
+                  "results still accepted (`validated`, `n_workunits`)",
+    "grid.complete": "a campaign closed its last workunit "
+                     "(`validated`, `failed`)",
     # -- scheduler RPC service (repro.service) ------------------------------
     "service.listen": "the scheduler service bound its listening socket "
                       "(`host`, `port`, `n_workunits`)",
@@ -85,7 +92,7 @@ EVENT_TYPES: dict[str, str] = {
 #: The per-subsystem channels, in taxonomy order.
 CHANNELS: tuple[str, ...] = (
     "des", "server", "agent", "fault", "docking", "telemetry", "health",
-    "service",
+    "grid", "service",
 )
 
 

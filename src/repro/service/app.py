@@ -117,6 +117,7 @@ class SchedulerService:
         sim_model: "VolunteerGridSimulation",
         config: ServiceConfig | None = None,
         tracer: Tracer | None = None,
+        campaign: str = "hcmd",
     ) -> None:
         shards = sim_model.config.shards
         if shards is not None and shards.n_shards > 1:
@@ -151,9 +152,13 @@ class SchedulerService:
             tracer=tracer,
             id_base=sim_model.wu_id_base,
         )
+        #: the served campaign's name; scopes every assignment on the
+        #: wire (multi-campaign grids run one service per campaign)
+        self.campaign_name = campaign
         #: campaign identity echoed by ``GET /`` so a load generator can
         #: verify it rebuilt the same campaign before driving it
         self.identity = {
+            "campaign": campaign,
             "n_workunits": self.server.n_workunits,
             "seed": sim_model.seed,
             "deadline_s": sim_model.server_config.deadline_s,
@@ -319,6 +324,7 @@ class SchedulerService:
         wu = instance.wu
         assignment = {
             "token": token,
+            "campaign": self.campaign_name,
             "wu": wu.wu_id,
             "copy": instance.copy,
             "receptor": wu.receptor,
@@ -593,6 +599,7 @@ def serve_in_thread(
     sim_model: "VolunteerGridSimulation",
     config: ServiceConfig | None = None,
     tracer: Tracer | None = None,
+    campaign: str = "hcmd",
 ) -> ServiceHandle:
     """Start a :class:`SchedulerService` on a daemon thread.
 
@@ -600,7 +607,9 @@ def serve_in_thread(
     surface immediately); the returned handle exposes the bound address
     and a blocking :meth:`~ServiceHandle.stop`.
     """
-    service = SchedulerService(sim_model, config=config, tracer=tracer)
+    service = SchedulerService(
+        sim_model, config=config, tracer=tracer, campaign=campaign
+    )
     started = threading.Event()
     failure: list[BaseException] = []
     loop = asyncio.new_event_loop()

@@ -204,12 +204,16 @@ class ColumnarSegment:
     :class:`~repro.maxdo.resultfile.ResultHeader` identity plus a packed
     record block.  ``source`` remembers the file name the segment was
     converted from (or should convert back to), so a store round-trips a
-    whole result directory without renaming anything.
+    whole result directory without renaming anything.  ``campaign``
+    optionally names the producing campaign on a multi-campaign grid
+    (:mod:`repro.multi`); untagged segments encode byte-identically to
+    the pre-tag format, so single-campaign stores are unchanged.
     """
 
     header: ResultHeader
     packed: np.ndarray  #: packed rows, dtype :data:`PACKED_DTYPE`
     source: str | None = None
+    campaign: str | None = None
 
     def __post_init__(self) -> None:
         self.packed = np.ascontiguousarray(self.packed)
@@ -243,14 +247,20 @@ class ColumnarSegment:
         header: ResultHeader,
         records: np.ndarray,
         source: str | None = None,
+        campaign: str | None = None,
     ) -> "ColumnarSegment":
         """Pack a float64 record array under ``header``."""
-        return cls(header=header, packed=pack_records(records), source=source)
+        return cls(
+            header=header,
+            packed=pack_records(records),
+            source=source,
+            campaign=campaign,
+        )
 
 
 def _segment_meta(segment: ColumnarSegment) -> dict:
     h = segment.header
-    return {
+    meta = {
         "receptor": h.receptor,
         "ligand": h.ligand,
         "isep_start": h.isep_start,
@@ -259,6 +269,11 @@ def _segment_meta(segment: ColumnarSegment) -> dict:
         "n_gamma": h.n_gamma,
         "source": segment.source,
     }
+    # Additive: the key is only present when set, so untagged segments
+    # keep the exact pre-tag byte layout (tested).
+    if segment.campaign is not None:
+        meta["campaign"] = segment.campaign
+    return meta
 
 
 def _header_from_meta(meta: dict) -> ResultHeader:
@@ -319,7 +334,10 @@ def _decode_segment(fh, path: Path) -> ColumnarSegment | None:
     if crc != zlib.crc32(payload):
         raise ValueError(f"{path.name}: segment payload CRC mismatch")
     return ColumnarSegment(
-        header=_header_from_meta(meta), packed=packed, source=meta.get("source")
+        header=_header_from_meta(meta),
+        packed=packed,
+        source=meta.get("source"),
+        campaign=meta.get("campaign"),
     )
 
 
@@ -425,6 +443,17 @@ class ResultStore:
         groups: dict[tuple[str, str], list[ColumnarSegment]] = {}
         for s in self.segments:
             groups.setdefault((s.header.receptor, s.header.ligand), []).append(s)
+        return groups
+
+    def by_campaign(self) -> dict[str | None, list[ColumnarSegment]]:
+        """Segments grouped per producing campaign, in on-disk order.
+
+        Untagged segments (single-campaign stores, pre-tag files) group
+        under ``None``, so mixed stores split cleanly.
+        """
+        groups: dict[str | None, list[ColumnarSegment]] = {}
+        for s in self.segments:
+            groups.setdefault(s.campaign, []).append(s)
         return groups
 
 

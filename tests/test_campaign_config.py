@@ -71,7 +71,8 @@ class TestConfigValue:
 
     def test_legacy_alias_server_config(self):
         sc = ServerConfig(deadline_s=123456.0)
-        assert CampaignConfig.from_kwargs(server_config=sc).server is sc
+        with pytest.warns(DeprecationWarning, match="docs/usage.md"):
+            assert CampaignConfig.from_kwargs(server_config=sc).server is sc
         assert CampaignConfig().with_(server_config=sc).server is sc
 
 

@@ -1,0 +1,109 @@
+"""The shared ``--campaign SPEC`` mini-language (repro.multi.spec).
+
+One grammar across the CLI subcommands: ``key=value`` pairs selecting a
+workload kind and campaign knobs.  Errors must be user-facing — the CLI
+prints them verbatim — so the tests pin both the parses and the message
+contracts (offending key named, valid vocabulary listed).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.multi.spec import (
+    SPEC_KEYS,
+    CampaignSpecError,
+    parse_campaign_spec,
+)
+from repro.multi.workloads import CrossDockingWorkload, ScreeningWorkload
+
+
+class TestParsing:
+    def test_cross_docking_full_spec(self):
+        c = parse_campaign_spec(
+            "name=hcmd,kind=cross-docking,scale=300,proteins=10,"
+            "target-hours=2.5,release=library,weight=3,priority=1,"
+            "quota=0.5,submit=1,drain=20"
+        )
+        assert c.name == "hcmd"
+        assert isinstance(c.workload, CrossDockingWorkload)
+        assert c.workload.scale == 300.0
+        assert c.workload.n_proteins == 10
+        assert c.workload.target_hours == 2.5
+        assert c.workload.release_policy == "library"
+        assert c.weight == 3.0
+        assert c.priority == 1
+        assert c.quota_fraction == 0.5
+        assert c.submit_week == 1.0
+        assert c.drain_week == 20.0
+
+    def test_screening_spec(self):
+        c = parse_campaign_spec(
+            "kind=screening,ligands=500,mean-hours=2,sigma=0.4,batch=25"
+        )
+        assert isinstance(c.workload, ScreeningWorkload)
+        assert c.workload.n_ligands == 500
+        assert c.workload.mean_hours == 2.0
+        assert c.workload.sigma == 0.4
+        assert c.workload.batch_size == 25
+
+    def test_kind_defaults_to_cross_docking(self):
+        c = parse_campaign_spec("scale=500")
+        assert isinstance(c.workload, CrossDockingWorkload)
+        assert c.name == "hcmd"
+
+    def test_name_defaults_to_the_kind(self):
+        assert parse_campaign_spec("kind=screening,ligands=9").name == (
+            "screening"
+        )
+
+    def test_whitespace_and_empty_items_tolerated(self):
+        c = parse_campaign_spec(" scale = 500 ,, proteins = 6 ")
+        assert c.workload.scale == 500.0
+        assert c.workload.n_proteins == 6
+
+
+class TestErrors:
+    def _message(self, spec: str) -> str:
+        with pytest.raises(CampaignSpecError) as err:
+            parse_campaign_spec(spec)
+        return str(err.value)
+
+    def test_unknown_key_names_it_and_lists_the_vocabulary(self):
+        message = self._message("kind=screening,bogus=3")
+        assert "'bogus'" in message
+        for key in SPEC_KEYS:
+            assert key in message
+
+    def test_missing_value(self):
+        assert "key=value" in self._message("scale=")
+
+    def test_missing_equals(self):
+        assert "key=value" in self._message("scale")
+
+    def test_duplicate_key(self):
+        assert "duplicate" in self._message("scale=1,scale=2")
+
+    def test_empty_spec(self):
+        assert "empty" in self._message("  , ,")
+
+    def test_unknown_kind(self):
+        message = self._message("kind=folding")
+        assert "'folding'" in message
+
+    def test_key_for_the_wrong_kind(self):
+        message = self._message("kind=screening,proteins=5")
+        assert "'proteins'" in message
+        assert "cross-docking" in message
+
+    def test_bad_value_type_names_key_and_value(self):
+        message = self._message("proteins=many")
+        assert "'proteins'" in message and "'many'" in message
+        assert "int" in message
+
+    def test_campaign_validation_becomes_a_spec_error(self):
+        assert "weight" in self._message("scale=500,weight=-1")
+
+    def test_spec_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            parse_campaign_spec("nope=1")

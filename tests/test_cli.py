@@ -97,6 +97,43 @@ class TestCommands:
         assert "Top critical-path couples" in out
         assert "Live SLO report" in out
 
+    def test_simulate_multi_campaign(self, capsys):
+        assert main([
+            "simulate",
+            "--campaign", "name=hcmd,scale=900,proteins=5",
+            "--campaign", "kind=screening,ligands=60,mean-hours=1,batch=20",
+            "--hosts-peak", "10", "--horizon-weeks", "30",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "hcmd" in out and "screening" in out
+        assert "policy: fair-share" in out
+
+    def test_simulate_campaign_spec_error_is_friendly(self, capsys):
+        assert main(["simulate", "--campaign", "bogus=1"]) == 2
+        err = capsys.readouterr().err
+        assert "'bogus'" in err and "valid keys" in err
+
+    def test_simulate_campaign_rejects_shards(self, capsys):
+        assert main([
+            "simulate", "--campaign", "scale=900,proteins=5", "--shards", "2",
+        ]) == 2
+        assert "--shards" in capsys.readouterr().err
+
+    def test_serve_loadgen_reject_multiple_campaigns(self, capsys):
+        assert main([
+            "loadgen", "http://127.0.0.1:1",
+            "--campaign", "scale=900,proteins=5",
+            "--campaign", "kind=screening",
+        ]) == 2
+        assert "single-campaign wire protocol" in capsys.readouterr().err
+
+    def test_loadgen_rejects_screening_campaign(self, capsys):
+        assert main([
+            "loadgen", "http://127.0.0.1:1",
+            "--campaign", "kind=screening,ligands=5",
+        ]) == 2
+        assert "cross-docking" in capsys.readouterr().err
+
     def test_simulate_bad_fault_spec_rejected(self):
         with pytest.raises(ValueError):
             main(["simulate", "--scale", "900", "--proteins", "5",

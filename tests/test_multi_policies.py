@@ -1,0 +1,179 @@
+"""Scheduler-policy invariants, property-based.
+
+The policies operate on the narrow runtime surface the router hands them
+(``index``, ``issued_reference_s``, ``campaign``), so the properties run
+against lightweight stub runtimes and synthetic issuance loops — no DES
+required:
+
+* every ordering is a permutation of the candidates, so the router stays
+  work-conserving (all grid capacity is offered to someone);
+* fair share converges to the weight vector (long-run share within 10%
+  of weight) and never starves a positive-weight campaign;
+* strict priority always serves the highest priority first;
+* the lottery is deterministic in the grid seed.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.multi import (
+    Campaign,
+    FairShare,
+    StrictPriority,
+    WeightedLottery,
+    make_policy,
+)
+
+
+class _StubRuntime:
+    """The slice of CampaignRuntime the policies read."""
+
+    def __init__(self, index: int, campaign: Campaign, issued: float = 0.0):
+        self.index = index
+        self.campaign = campaign
+        self.name = campaign.name
+        self.issued_reference_s = issued
+
+
+def _runtimes(campaigns, issued=None):
+    issued = issued if issued is not None else [0.0] * len(campaigns)
+    return [
+        _StubRuntime(i, c, issued=s)
+        for i, (c, s) in enumerate(zip(campaigns, issued))
+    ]
+
+
+weights_lists = st.lists(
+    st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=6
+)
+issued_lists = st.lists(
+    st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=6
+)
+
+
+@st.composite
+def candidate_sets(draw):
+    weights = draw(weights_lists)
+    issued = draw(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6),
+            min_size=len(weights), max_size=len(weights),
+        )
+    )
+    priorities = draw(
+        st.lists(
+            st.integers(min_value=-3, max_value=3),
+            min_size=len(weights), max_size=len(weights),
+        )
+    )
+    campaigns = [
+        Campaign.screening(f"c{i}", weight=w, priority=p)
+        for i, (w, p) in enumerate(zip(weights, priorities))
+    ]
+    return _runtimes(campaigns, issued)
+
+
+@pytest.mark.parametrize("policy_spec", [
+    "fair-share", "strict-priority", "weighted-lottery",
+])
+@given(candidates=candidate_sets())
+@settings(max_examples=50, deadline=None)
+def test_order_is_a_permutation(policy_spec, candidates):
+    """Work conservation: every candidate appears exactly once, so the
+    router offers all issuable work to every volunteer request."""
+    policy = make_policy(policy_spec, seed=3)
+    order = policy.order(candidates, week=1.0)
+    assert sorted(rt.index for rt in order) == list(range(len(candidates)))
+    # and ordering does not mutate scheduler state
+    assert [rt.issued_reference_s for rt in candidates] == [
+        rt.issued_reference_s for rt in candidates
+    ]
+
+
+@given(weights=st.lists(
+    st.floats(min_value=0.5, max_value=4.0), min_size=2, max_size=4,
+))
+@settings(max_examples=25, deadline=None)
+def test_fair_share_tracks_weights_within_10_percent(weights):
+    """Long-run issued share lands within 10% (absolute) of the weight
+    share when every campaign stays hungry — the acceptance bound."""
+    campaigns = [
+        Campaign.screening(f"c{i}", weight=w) for i, w in enumerate(weights)
+    ]
+    runtimes = _runtimes(campaigns)
+    policy = FairShare()
+    for _ in range(2_000):
+        policy.order(runtimes, week=0.0)[0].issued_reference_s += 1.0
+    total = sum(rt.issued_reference_s for rt in runtimes)
+    weight_sum = sum(weights)
+    for rt, w in zip(runtimes, weights):
+        assert abs(rt.issued_reference_s / total - w / weight_sum) <= 0.10
+
+
+@given(weights=st.lists(
+    st.floats(min_value=0.1, max_value=10.0), min_size=2, max_size=6,
+))
+@settings(max_examples=25, deadline=None)
+def test_fair_share_is_starvation_free(weights):
+    """Every positive-weight campaign receives work, however skewed the
+    weight vector."""
+    campaigns = [
+        Campaign.screening(f"c{i}", weight=w) for i, w in enumerate(weights)
+    ]
+    runtimes = _runtimes(campaigns)
+    policy = FairShare()
+    for _ in range(len(weights) * 200):
+        policy.order(runtimes, week=0.0)[0].issued_reference_s += 1.0
+    assert all(rt.issued_reference_s > 0 for rt in runtimes)
+
+
+@given(candidates=candidate_sets())
+@settings(max_examples=50, deadline=None)
+def test_strict_priority_serves_highest_priority_first(candidates):
+    order = StrictPriority().order(candidates, week=0.0)
+    top = max(rt.campaign.priority for rt in candidates)
+    assert order[0].campaign.priority == top
+    # and the ordering never ranks a lower priority above a higher one
+    ranks = [rt.campaign.priority for rt in order]
+    assert ranks == sorted(ranks, reverse=True)
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**20),
+    candidates=candidate_sets(),
+)
+@settings(max_examples=50, deadline=None)
+def test_lottery_is_deterministic_in_the_seed(seed, candidates):
+    a = WeightedLottery(seed).order(candidates, week=0.0)
+    b = WeightedLottery(seed).order(candidates, week=0.0)
+    assert [rt.index for rt in a] == [rt.index for rt in b]
+
+
+def test_weight_schedule_reshapes_fair_share_mid_run():
+    """A weight step flips the allocation exactly at its week boundary —
+    the mechanism behind the paper's three-phase prioritization."""
+    hcmd = Campaign.screening(
+        "hcmd", weight_schedule=((0.0, 0.07), (9.0, 0.45)),
+    )
+    other = Campaign.screening(
+        "other", weight_schedule=((0.0, 0.93), (9.0, 0.55)),
+    )
+    policy = FairShare()
+
+    def share_at(week: float) -> float:
+        runtimes = _runtimes([hcmd, other])
+        for _ in range(1_000):
+            policy.order(runtimes, week=week)[0].issued_reference_s += 1.0
+        total = sum(rt.issued_reference_s for rt in runtimes)
+        return runtimes[0].issued_reference_s / total
+
+    assert share_at(0.0) == pytest.approx(0.07, abs=0.01)
+    assert share_at(10.0) == pytest.approx(0.45, abs=0.01)
+
+
+def test_make_policy_rejects_unknown_spec():
+    with pytest.raises(ValueError, match="unknown scheduling policy"):
+        make_policy("round-robin", seed=1)

@@ -1,0 +1,239 @@
+"""The multi-campaign grid engine (repro.multi).
+
+The two load-bearing contracts:
+
+* **single-campaign identity** — a grid with exactly one registered
+  cross-docking campaign IS the monolithic engine: the delegation path
+  is bit-identical (including the full event trace), and even the forced
+  router path reproduces the identical statistics, because the router
+  adds no randomness of its own;
+* **deterministic lifecycle** — mid-run admission and draining replay
+  identically run to run, and campaigns receive no issues outside their
+  [submit, drain) window.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.boinc.simulator import scaled_phase1
+from repro.multi import (
+    Campaign,
+    GridConfig,
+    MultiGridSimulation,
+    WU_ID_STRIDE,
+)
+from repro.obs import RingSink, Tracer
+from repro.units import weeks
+
+SCALE, N_PROTEINS, SEED = 900.0, 5, 42
+
+
+def _single_grid(**overrides) -> GridConfig:
+    base = dict(
+        campaigns=(
+            Campaign.cross_docking("hcmd", scale=SCALE, n_proteins=N_PROTEINS),
+        ),
+        seed=SEED,
+        horizon_weeks=40.0,
+    )
+    base.update(overrides)
+    return GridConfig(**base)
+
+
+def _two_campaign_grid(submit_week: float = 2.0) -> GridConfig:
+    return GridConfig(
+        campaigns=(
+            Campaign.cross_docking("hcmd", scale=SCALE, n_proteins=N_PROTEINS),
+            Campaign.screening(
+                "malaria", n_ligands=120, mean_hours=1.0,
+                batch_size=20, submit_week=submit_week,
+            ),
+        ),
+        seed=7,
+        horizon_weeks=40.0,
+        n_hosts_peak=12,
+    )
+
+
+@pytest.fixture(scope="module")
+def monolithic_reference():
+    return scaled_phase1(scale=SCALE, n_proteins=N_PROTEINS, seed=SEED).run()
+
+
+class TestSingleCampaignIdentity:
+    def test_single_cross_docking_campaign_delegates(self):
+        assert MultiGridSimulation(_single_grid()).delegates_to_monolithic
+
+    def test_lifecycle_or_screening_disables_delegation(self):
+        late = _single_grid(campaigns=(
+            Campaign.cross_docking(
+                "hcmd", scale=SCALE, n_proteins=N_PROTEINS, submit_week=1.0
+            ),
+        ))
+        assert not MultiGridSimulation(late).delegates_to_monolithic
+        screening = GridConfig(campaigns=(Campaign.screening("s"),))
+        assert not MultiGridSimulation(screening).delegates_to_monolithic
+
+    def test_delegation_is_bit_identical(self, monolithic_reference):
+        result = MultiGridSimulation(_single_grid()).run()["hcmd"]
+        ref = monolithic_reference
+        assert result.completion_time == ref.completion_time
+        assert result.server.stats == ref.server.stats
+        assert result.n_hosts == ref.n_hosts
+        np.testing.assert_array_equal(
+            result.telemetry.daily_cpu_s, ref.telemetry.daily_cpu_s
+        )
+
+    def test_forced_router_path_matches_monolithic(self, monolithic_reference):
+        sim = MultiGridSimulation(_single_grid(), force_router=True)
+        assert not sim.delegates_to_monolithic
+        routed = sim.run()["hcmd"]
+        ref = monolithic_reference
+        assert routed.server.stats == ref.server.stats
+        assert routed.completion_time == ref.completion_time
+        assert routed.n_hosts == ref.n_hosts
+        np.testing.assert_array_equal(
+            routed.telemetry.daily_cpu_s, ref.telemetry.daily_cpu_s
+        )
+
+    def test_delegation_trace_identical_under_full_tracing(self):
+        def run_traced(run):
+            ring = RingSink(capacity=2_000_000)
+            run(Tracer(sink=ring))
+            return [
+                (e.etype, e.t_sim, e.fields) for e in ring.events
+            ]
+
+        mono = run_traced(
+            lambda tr: scaled_phase1(
+                scale=SCALE, n_proteins=N_PROTEINS, seed=SEED, tracer=tr
+            ).run()
+        )
+        multi = run_traced(
+            lambda tr: MultiGridSimulation(_single_grid(), tracer=tr).run()
+        )
+        assert mono == multi
+
+    def test_grid_result_reconciles_with_campaign(self):
+        grid = MultiGridSimulation(_single_grid()).run()
+        assert grid.completion_time == grid["hcmd"].completion_time
+        assert grid.merged_stats() == grid["hcmd"].server.stats
+        assert grid.issued_share() == {"hcmd": 1.0}
+
+
+class TestDeterminism:
+    def test_midrun_submission_replays_identically(self):
+        a = MultiGridSimulation(_two_campaign_grid()).run()
+        b = MultiGridSimulation(_two_campaign_grid()).run()
+        assert list(a.campaigns) == list(b.campaigns)
+        for name in a.campaigns:
+            assert a[name].server.stats == b[name].server.stats
+            assert a[name].completion_time == b[name].completion_time
+        assert a.issued_share() == b.issued_share()
+
+    def test_workunit_id_namespaces_are_strided(self):
+        ring = RingSink(capacity=500_000)
+        tracer = Tracer(sink=ring, channels=("server",))
+        MultiGridSimulation(_two_campaign_grid(), tracer=tracer).run()
+        issued: dict[str, set[int]] = {}
+        for e in ring.events:
+            if e.etype == "server.issue":
+                issued.setdefault(e.fields["campaign"], set()).add(
+                    e.fields["wu"]
+                )
+        assert all(i < WU_ID_STRIDE for i in issued["hcmd"])
+        assert all(
+            WU_ID_STRIDE <= i < 2 * WU_ID_STRIDE for i in issued["malaria"]
+        )
+
+
+class TestLifecycle:
+    def test_no_issues_before_submit_week(self):
+        ring = RingSink(capacity=500_000)
+        tracer = Tracer(sink=ring, channels=("grid", "server"))
+        MultiGridSimulation(_two_campaign_grid(), tracer=tracer).run()
+        admits = [e for e in ring.events if e.etype == "grid.admit"]
+        by_campaign = {e.fields["campaign"]: e.t_sim for e in admits}
+        assert by_campaign["hcmd"] == 0.0
+        assert by_campaign["malaria"] == weeks(2.0)
+        malaria_issues = [
+            e.t_sim
+            for e in ring.events
+            if e.etype == "server.issue" and e.fields.get("campaign") == "malaria"
+        ]
+        assert malaria_issues
+        assert min(malaria_issues) >= weeks(2.0)
+
+    def test_drain_stops_new_issues(self):
+        config = GridConfig(
+            campaigns=(
+                Campaign.cross_docking(
+                    "hcmd", scale=SCALE, n_proteins=N_PROTEINS
+                ),
+                Campaign.screening(
+                    "malaria", n_ligands=5_000, mean_hours=1.0,
+                    drain_week=4.0,
+                ),
+            ),
+            seed=7,
+            horizon_weeks=20.0,
+            n_hosts_peak=12,
+        )
+        ring = RingSink(capacity=500_000)
+        tracer = Tracer(sink=ring, channels=("grid", "server"))
+        result = MultiGridSimulation(config, tracer=tracer).run()
+        drains = [e for e in ring.events if e.etype == "grid.drain"]
+        assert [e.fields["campaign"] for e in drains] == ["malaria"]
+        t_drain = drains[0].t_sim
+        assert t_drain == weeks(4.0)
+        malaria_issues = [
+            e.t_sim
+            for e in ring.events
+            if e.etype == "server.issue" and e.fields.get("campaign") == "malaria"
+        ]
+        assert malaria_issues
+        assert max(malaria_issues) <= t_drain
+        # 5000 h of screening cannot finish in 4 weeks on 12 hosts; the
+        # drain parks it incomplete while hcmd runs to completion.
+        assert result["malaria"].completion_time is None
+        assert result["hcmd"].completion_time is not None
+
+    def test_completion_events_emitted_once_per_campaign(self):
+        ring = RingSink(capacity=500_000)
+        tracer = Tracer(sink=ring, channels=("grid",))
+        result = MultiGridSimulation(_two_campaign_grid(), tracer=tracer).run()
+        completes = [e for e in ring.events if e.etype == "grid.complete"]
+        assert sorted(e.fields["campaign"] for e in completes) == [
+            "hcmd", "malaria",
+        ]
+        for e in completes:
+            assert e.fields["validated"] == (
+                result[e.fields["campaign"]].server.n_validated
+            )
+
+
+class TestQuota:
+    def test_quota_caps_share_of_issued_work(self):
+        config = GridConfig(
+            campaigns=(
+                Campaign.screening(
+                    "capped", n_ligands=400, mean_hours=1.0,
+                    batch_size=50, quota_fraction=0.25,
+                ),
+                Campaign.screening(
+                    "open", n_ligands=400, mean_hours=1.0, batch_size=50,
+                ),
+            ),
+            seed=11,
+            horizon_weeks=4.0,
+            n_hosts_peak=12,
+        )
+        result = MultiGridSimulation(config).run()
+        shares = result.issued_share()
+        # Both campaigns stay hungry for the whole horizon, so the quota
+        # binds: the capped campaign's share sits at ~0.25 (slack for
+        # issue granularity), and the grid stays work-conserving.
+        assert shares["capped"] <= 0.35
+        assert shares["capped"] + shares["open"] == pytest.approx(1.0)

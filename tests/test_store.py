@@ -215,6 +215,45 @@ class TestStoreFile:
         groups = store.by_couple()
         assert len(groups[("P001", "PA")]) == 2
 
+    def test_campaign_tag_roundtrips(self, tmp_path):
+        rec = synth_records(None)
+        path = tmp_path / "s.rcs"
+        write_store(path, [
+            ColumnarSegment.from_records(
+                header_for(rec, ligand="PA"), rec, campaign="hcmd"
+            ),
+            ColumnarSegment.from_records(header_for(rec, ligand="PB"), rec),
+        ])
+        store = read_store(path)
+        assert [s.campaign for s in store.segments] == ["hcmd", None]
+        groups = store.by_campaign()
+        assert set(groups) == {"hcmd", None}
+        assert len(groups["hcmd"]) == 1 and len(groups[None]) == 1
+
+    def test_untagged_segments_keep_the_pre_tag_byte_layout(self, tmp_path):
+        """The campaign key is strictly additive: segments without a tag
+        encode byte-identically to stores written before it existed."""
+        rec = synth_records(None)
+        untagged = tmp_path / "untagged.rcs"
+        write_store(untagged, [
+            ColumnarSegment.from_records(header_for(rec), rec, source="a"),
+        ])
+        explicit_none = tmp_path / "none.rcs"
+        write_store(explicit_none, [
+            ColumnarSegment.from_records(
+                header_for(rec), rec, source="a", campaign=None
+            ),
+        ])
+        assert untagged.read_bytes() == explicit_none.read_bytes()
+        assert b'"campaign"' not in untagged.read_bytes()
+        tagged = tmp_path / "tagged.rcs"
+        write_store(tagged, [
+            ColumnarSegment.from_records(
+                header_for(rec), rec, source="a", campaign="hcmd"
+            ),
+        ])
+        assert b'"campaign": "hcmd"' in tagged.read_bytes()
+
 
 class TestRollback:
     def _chunked_store(self, tmp_path, n_chunks=4, rows_per_chunk=6):
