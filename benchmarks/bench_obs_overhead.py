@@ -9,7 +9,10 @@ Measures what lifecycle tracing and the riding SLO/health monitor cost a
   stays off, so the kernel keeps its fast path);
 * **lifecycle+health** — the same tracer with a :class:`HealthMonitor`
   teed into the sink (stride-drained batch fold, P² sketches, SLO rules
-  swept once per drain).
+  swept once per drain);
+* **lifecycle+ledger** — the same tracer with a :class:`HostLedger`
+  teed into the sink (the same stride-drained tee pattern folding
+  per-host counters, trust trajectory and turnaround sketches).
 
 Methodology.  End-to-end walls are timed in **interleaved rounds** (one
 run of each variant per round, best-of across rounds) so slow drift of
@@ -30,12 +33,12 @@ What "< 5 %" means per variant — recorded as ``target_met``:
   the pure-Python emit path costs ~2-3 us/event, so this target is not
   currently met; the number is recorded honestly rather than gamed by
   lowering the event density.
-* ``lifecycle+health`` is held against **lifecycle tracing alone**: the
-  monitor is an add-on to an already-traced campaign, so its cost is
-  the replay-measured marginal as a fraction of the lifecycle wall
-  (``marginal_fraction``).  The health fast path (immediate-forward
-  tee, dispatch-filtered stride drain, batched SLO sweep) keeps this
-  under 5 %.
+* ``lifecycle+health`` and ``lifecycle+ledger`` are held against
+  **lifecycle tracing alone**: each is an add-on to an already-traced
+  campaign, so its cost is the replay-measured marginal as a fraction
+  of the lifecycle wall (``marginal_fraction``).  The shared fast path
+  (immediate-forward tee, dispatch-filtered stride drain, batched fold)
+  keeps both under 5 %.
 
 Enforced thresholds are generous gross-regression backstops on the
 per-event marginals; bit-identity of the campaign outcome across all
@@ -56,6 +59,7 @@ from time import perf_counter
 
 from repro.boinc.simulator import scaled_phase1
 from repro.obs.health import HealthMonitor, HealthSink
+from repro.obs.ledger import HostLedger, LedgerSink
 from repro.obs.tracer import RingSink, Tracer
 
 SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
@@ -83,12 +87,11 @@ MAX_OVERHEAD_FRACTION = 4.0 if SMOKE else 3.0
 MAX_MARGINAL_US_PER_EVENT = 5.0
 
 
-def _run(tracer=None, health=None):
+def _run(**kwargs):
     return scaled_phase1(
         scale=CAMPAIGN_SCALE,
         n_proteins=CAMPAIGN_PROTEINS,
-        tracer=tracer,
-        health=health,
+        **kwargs,
     ).run()
 
 
@@ -111,16 +114,29 @@ VARIANTS = [
             "health": True,
         },
     ),
+    (
+        "lifecycle+ledger",
+        lambda: {
+            "tracer": Tracer(
+                sink=RingSink(capacity=2_000_000), channels=LIFECYCLE_CHANNELS
+            ),
+            "ledger": True,
+        },
+    ),
 ]
 
 
-def _replay_marginal_s(events, n_workunits, max_reissues):
-    """The monitor's tee+fold cost on ``events``, via paired replays."""
+def _replay_marginal_s(events, make_tee):
+    """The tee+fold cost of one observer on ``events``, via paired replays.
 
-    def through_health():
-        monitor = HealthMonitor()
-        monitor.configure_campaign(n_workunits, max_reissues)
-        sink = HealthSink(monitor, RingSink(capacity=2_000_000))
+    ``make_tee(ring)`` builds the observer's sink tee around a plain ring
+    (``HealthSink`` or ``LedgerSink`` — the identical forward-first
+    stride-drain pattern), so the measured difference is the observer's
+    cost on the exact code path the live campaign uses.
+    """
+
+    def through_tee():
+        sink = make_tee(RingSink(capacity=2_000_000))
         append = sink.append
         t0 = perf_counter()
         for event in events:
@@ -135,9 +151,9 @@ def _replay_marginal_s(events, n_workunits, max_reissues):
             append(event)
         return perf_counter() - t0
 
-    health_s = min(through_health() for _ in range(REPLAY_REPEATS))
+    tee_s = min(through_tee() for _ in range(REPLAY_REPEATS))
     plain_s = min(through_plain() for _ in range(REPLAY_REPEATS))
-    return max(0.0, health_s - plain_s)
+    return max(0.0, tee_s - plain_s)
 
 
 def test_bench_obs_overhead(record_artifact, record_bench_json):
@@ -159,9 +175,20 @@ def test_bench_obs_overhead(record_artifact, record_bench_json):
     life_s = walls["lifecycle"]
     life_events = list(tracers["lifecycle"].sink.events)
     life_server = results["lifecycle"].server
-    marginal_s = _replay_marginal_s(
-        life_events, life_server.n_workunits, life_server.config.max_reissues
-    )
+
+    def health_tee(ring):
+        monitor = HealthMonitor()
+        monitor.configure_campaign(
+            life_server.n_workunits, life_server.config.max_reissues
+        )
+        return HealthSink(monitor, ring)
+
+    marginals_s = {
+        "lifecycle+health": _replay_marginal_s(life_events, health_tee),
+        "lifecycle+ledger": _replay_marginal_s(
+            life_events, lambda ring: LedgerSink(HostLedger(), ring)
+        ),
+    }
 
     rows = {}
     for name, _ in VARIANTS:
@@ -183,9 +210,10 @@ def test_bench_obs_overhead(record_artifact, record_bench_json):
             "overhead_fraction": overhead,
             "us_per_event": us_per_event,
         }
-        if name == "lifecycle+health":
-            # The monitor's own cost: replay-measured marginal over
+        if name in marginals_s:
+            # The observer's own cost: replay-measured marginal over
             # lifecycle tracing (see module docstring).
+            marginal_s = marginals_s[name]
             marginal = marginal_s / life_s
             row["marginal_fraction"] = marginal
             row["marginal_us_per_event"] = (
@@ -207,7 +235,6 @@ def test_bench_obs_overhead(record_artifact, record_bench_json):
         assert result.server.stats.disclosed == base.server.stats.disclosed, name
         assert result.server.stats.effective == base.server.stats.effective, name
 
-    health_row = rows["lifecycle+health"]
     lines = [
         f"campaign scale={CAMPAIGN_SCALE} n_proteins={CAMPAIGN_PROTEINS} "
         f"(smoke={SMOKE}, best of {TIMING_ROUNDS} interleaved rounds, "
@@ -223,16 +250,21 @@ def test_bench_obs_overhead(record_artifact, record_bench_json):
             f"{row['us_per_event']:>10.2f}"
             f"{'yes' if row['target_met'] else 'NO':>6}"
         )
-    lines.append(
-        f"health monitor marginal (replayed tee+fold): "
-        f"{marginal_s * 1e3:.2f} ms = {health_row['marginal_fraction']:.1%} "
-        f"of lifecycle wall ({health_row['marginal_us_per_event']:.2f} "
-        f"us/event); target {TARGET_FRACTION:.0%}"
-    )
+    for name, observer in (
+        ("lifecycle+health", "health monitor"),
+        ("lifecycle+ledger", "host ledger"),
+    ):
+        row = rows[name]
+        lines.append(
+            f"{observer} marginal (replayed tee+fold): "
+            f"{marginals_s[name] * 1e3:.2f} ms = {row['marginal_fraction']:.1%} "
+            f"of lifecycle wall ({row['marginal_us_per_event']:.2f} "
+            f"us/event); target {TARGET_FRACTION:.0%}"
+        )
     lines.append(
         f"enforced: us/event < {MAX_US_PER_EVENT:.0f}, "
         f"overhead < {MAX_OVERHEAD_FRACTION:.0%}, "
-        f"monitor marginal < {MAX_MARGINAL_US_PER_EVENT:.0f} us/event "
+        f"observer marginals < {MAX_MARGINAL_US_PER_EVENT:.0f} us/event "
         f"(gross-regression backstops)"
     )
     record_artifact("bench_obs_overhead", "\n".join(lines))
@@ -253,7 +285,7 @@ def test_bench_obs_overhead(record_artifact, record_bench_json):
             "max_marginal_us_per_event": MAX_MARGINAL_US_PER_EVENT,
             "outcome_bit_identical": True,
         },
-        experiment="Tracing + health-monitor overhead on scaled_phase1",
+        experiment="Tracing + health-monitor + host-ledger overhead on scaled_phase1",
     )
 
     for name, row in rows.items():
@@ -267,7 +299,8 @@ def test_bench_obs_overhead(record_artifact, record_bench_json):
             f"{name}: {row['overhead_fraction']:.1%} overhead "
             f"(backstop {MAX_OVERHEAD_FRACTION:.0%})"
         )
-    assert health_row["marginal_us_per_event"] < MAX_MARGINAL_US_PER_EVENT, (
-        f"monitor marginal {health_row['marginal_us_per_event']:.2f} us/event "
-        f"(backstop {MAX_MARGINAL_US_PER_EVENT:.0f})"
-    )
+    for name in marginals_s:
+        assert rows[name]["marginal_us_per_event"] < MAX_MARGINAL_US_PER_EVENT, (
+            f"{name} marginal {rows[name]['marginal_us_per_event']:.2f} "
+            f"us/event (backstop {MAX_MARGINAL_US_PER_EVENT:.0f})"
+        )

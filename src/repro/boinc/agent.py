@@ -376,6 +376,11 @@ class VolunteerAgent:
             return
         self.telemetry.record_result(self.sim.now, accounted)
         self.telemetry.record_credit(credit)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "host.credit", t_sim=self.sim.now,
+                host=self.spec.host_id, wu=instance.wu.wu_id, points=credit,
+            )
         self.results_returned += 1
         self._when_available(self._fetch_work)
 

@@ -257,13 +257,17 @@ class GridServer:
             # requesters, advance past this workunit.
             replication = self.config.validation.replication_at(self.sim.now)
             adaptive = self.config.adaptive
-            if (
-                replication > 1
-                and adaptive is not None
-                and not adaptive.needs_partner(host_id)
-            ):
-                replication = 1
-                state.trusted_single = True
+            if replication > 1 and adaptive is not None:
+                if not adaptive.needs_partner(host_id):
+                    replication = 1
+                    state.trusted_single = True
+                elif self.tracer is not None and adaptive.is_trusted(host_id):
+                    # A trusted host drew its deterministic spot check:
+                    # the quorum partner stays despite the trust streak.
+                    self.tracer.emit(
+                        "host.spot_check", t_sim=self.sim.now,
+                        host=host_id, wu=state.wu.wu_id,
+                    )
             for _ in range(replication - 1):
                 self._reissue.append(state)
             self._fresh += 1
@@ -367,6 +371,14 @@ class GridServer:
         if not valid:
             self.stats.invalid += 1
             if adaptive is not None:
+                if self.tracer is not None and adaptive.is_trusted(
+                    instance.host_id
+                ):
+                    self.tracer.emit(
+                        "host.demoted", t_sim=self.sim.now,
+                        host=instance.host_id,
+                        streak=adaptive.streak(instance.host_id),
+                    )
                 adaptive.record_invalid(instance.host_id)
             self._requeue(state, instance.host_id, "invalid")
             return
@@ -375,6 +387,14 @@ class GridServer:
         # wrong sabotage that the range check cannot catch).
         if adaptive is not None:
             adaptive.record_valid(instance.host_id)
+            if (
+                self.tracer is not None
+                and adaptive.streak(instance.host_id) == adaptive.trust_after
+            ):
+                self.tracer.emit(
+                    "host.trusted", t_sim=self.sim.now,
+                    host=instance.host_id, streak=adaptive.trust_after,
+                )
         quorum = self.config.validation.quorum_at(self.sim.now)
         if state.trusted_single:
             quorum = 1

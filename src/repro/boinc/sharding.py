@@ -133,6 +133,11 @@ class ShardOutput:
     wall_s: float  #: the shard's own wall-clock execution time
     trace_path: str | None = None
     trace_counts: dict[str, int] | None = None
+    #: per-host ledger records when the campaign ran with ``ledger=``
+    #: (host ids are campaign-global and disjoint across shards, so the
+    #: merge is a pure union in shard order)
+    ledger_records: dict | None = None
+    ledger_campaigns: dict | None = None
 
 
 def plan_shards(sim: "VolunteerGridSimulation", n_shards: int) -> list[ShardSpec]:
@@ -214,8 +219,10 @@ def _execute_shard(
     spec: ShardSpec,
     trace_dir: str | None,
     trace_channels: frozenset | None,
+    ledger: bool = False,
 ) -> ShardOutput:
     """Run one shard to completion and package its picklable output."""
+    from ..obs.ledger import HostLedger
     from .simulator import VolunteerGridSimulation
 
     tracer = None
@@ -225,7 +232,8 @@ def _execute_shard(
         tracer = Tracer.to_jsonl(trace_path, channels=trace_channels)
     t0 = perf_counter()
     sim = VolunteerGridSimulation(
-        library, cost_model, config, tracer=tracer, shard=spec
+        library, cost_model, config, tracer=tracer, shard=spec,
+        ledger=HostLedger() if ledger else None,
     )
     result = sim.run()
     wall_s = perf_counter() - t0
@@ -245,6 +253,10 @@ def _execute_shard(
         wall_s=wall_s,
         trace_path=trace_path,
         trace_counts=trace_counts,
+        ledger_records=sim.ledger.records if sim.ledger is not None else None,
+        ledger_campaigns=(
+            sim.ledger.by_campaign if sim.ledger is not None else None
+        ),
     )
 
 
@@ -255,18 +267,25 @@ def _execute_shard(
 _WORKER_STATE: tuple | None = None
 
 
-def _init_worker(library, cost_model, config, trace_dir, trace_channels) -> None:
+def _init_worker(
+    library, cost_model, config, trace_dir, trace_channels, ledger=False
+) -> None:
     global _WORKER_STATE
-    _WORKER_STATE = (library, cost_model, config, trace_dir, trace_channels)
+    _WORKER_STATE = (
+        library, cost_model, config, trace_dir, trace_channels, ledger
+    )
 
 
 def _run_shard_task(spec: ShardSpec) -> ShardOutput:
     """Module-level pool worker (must pickle), mirroring the docking
     engine's ``dock_couple(n_workers=N)`` fan-out pattern."""
     assert _WORKER_STATE is not None, "pool worker not initialized"
-    library, cost_model, config, trace_dir, trace_channels = _WORKER_STATE
+    library, cost_model, config, trace_dir, trace_channels, ledger = (
+        _WORKER_STATE
+    )
     return _execute_shard(
-        library, cost_model, config, spec, trace_dir, trace_channels
+        library, cost_model, config, spec, trace_dir, trace_channels,
+        ledger=ledger,
     )
 
 
@@ -408,8 +427,11 @@ def _resolve_trace_target(sim: "VolunteerGridSimulation") -> tuple:
         return None, None, None
     if not isinstance(tracer.sink, JsonlSink):
         raise ValueError(
-            "in-memory trace sinks cannot cross shard processes; trace a "
-            "sharded campaign to a JSONL path (Tracer.to_jsonl) instead"
+            "unsupported artifact for a sharded campaign: the in-memory "
+            "ring trace (RingSink) cannot cross shard processes; trace a "
+            "sharded campaign to a JSONL path (Tracer.to_jsonl / --trace "
+            "PATH) instead, or run monolithically with n_shards=1 "
+            "(drop --shards)"
         )
     target_path = str(tracer.sink.path)
     return tracer, target_path, tracer.channels
@@ -429,14 +451,18 @@ def run_sharded(sim: "VolunteerGridSimulation") -> "CampaignResult":
     plan = sim.config.shards
     if sim.health is not None:
         raise ValueError(
-            "the streaming health monitor cannot ride a sharded campaign "
-            "(shards run in separate processes); monitor a single-shard "
-            "run, or run with n_shards=1"
+            "unsupported artifact for a sharded campaign: the streaming "
+            "health monitor (--health / health=) runs in-process and its "
+            "SLO report cannot be recombined across shard processes; run "
+            "monolithically with n_shards=1 (drop --shards), or use the "
+            "shard-mergeable host ledger (ledger=) instead"
         )
     if sim.profiler is not None:
         raise ValueError(
-            "the profiler cannot aggregate across shard processes; "
-            "profile a single-shard run instead"
+            "unsupported artifact for a sharded campaign: the profiler "
+            "(--profile / profiler=) cannot aggregate wall times across "
+            "shard processes; run monolithically with n_shards=1 "
+            "(drop --shards) to profile"
         )
     tracer, target_path, trace_channels = _resolve_trace_target(sim)
     trace_dir = (
@@ -452,6 +478,7 @@ def run_sharded(sim: "VolunteerGridSimulation") -> "CampaignResult":
             _execute_shard(
                 sim.library, sim.cost_model, shard_config, spec,
                 trace_dir, trace_channels,
+                ledger=sim.ledger is not None,
             )
             for spec in specs
         ]
@@ -461,7 +488,7 @@ def run_sharded(sim: "VolunteerGridSimulation") -> "CampaignResult":
             initializer=_init_worker,
             initargs=(
                 sim.library, sim.cost_model, shard_config,
-                trace_dir, trace_channels,
+                trace_dir, trace_channels, sim.ledger is not None,
             ),
         ) as pool:
             # submit order == shard order: the list() below is the
@@ -505,6 +532,16 @@ def run_sharded(sim: "VolunteerGridSimulation") -> "CampaignResult":
         batch_completion=batch_completion,
         config=sim.server_config,
     )
+    fleet = None
+    if sim.ledger is not None:
+        # Shard host-id blocks are disjoint (HOST_ID_STRIDE), so the
+        # merged ledger is a pure union absorbed in shard order.
+        for out in outputs:
+            if out.ledger_records is not None:
+                sim.ledger.absorb(out.ledger_records, out.ledger_campaigns)
+        fleet = sim.ledger.finalize(
+            completion_time if completion_time is not None else sim.horizon_s
+        )
     result = CampaignResult(
         telemetry=telemetry,
         server=server,
@@ -516,6 +553,7 @@ def run_sharded(sim: "VolunteerGridSimulation") -> "CampaignResult":
         batch_completion_s=batch_completion_s,
         faults=sim.faults,
         health=None,
+        ledger=fleet,
     )
     result.shard_walls = [out.wall_s for out in outputs]
     return result

@@ -44,6 +44,7 @@ from .. import constants
 from ..faults import FaultPlan, FaultReport
 from ..obs import MetricsRegistry, Profiler, Tracer
 from ..obs.health import HealthMonitor, HealthSink, NullSink, SLOReport
+from ..obs.ledger import FleetReport, HostLedger, LedgerSink
 from ..core.campaign import CampaignPlan
 from ..core.metrics import CampaignMetrics
 from ..core.packaging import PackagingPolicy, WorkUnitPlan
@@ -248,6 +249,9 @@ class CampaignResult:
     #: the final SLO report when a health monitor rode the campaign
     #: (``health=True``), else None
     health: SLOReport | None = None
+    #: the final per-host fleet report when a host ledger rode the
+    #: campaign (``ledger=True``), else None
+    ledger: FleetReport | None = None
     #: per-shard wall-clock seconds when the campaign ran sharded
     #: (:mod:`repro.boinc.sharding`), else None
     shard_walls: list[float] | None = None
@@ -370,6 +374,9 @@ class CampaignResult:
             # Same contract: the SLO report appears only when a monitor
             # rode the campaign.
             payload["health"] = self.health.as_dict()
+        if self.ledger is not None:
+            # And the fleet forensics only when a host ledger rode it.
+            payload["ledger"] = self.ledger.as_dict()
         paths.append(
             export_json(
                 directory / "metrics.json",
@@ -414,6 +421,7 @@ class VolunteerGridSimulation:
         tracer: Tracer | None = None,
         profiler: Profiler | None = None,
         health: "bool | HealthMonitor | None" = None,
+        ledger: "bool | HostLedger | None" = None,
         shard: "ShardSpec | None" = None,
         **legacy,
     ) -> None:
@@ -442,6 +450,11 @@ class VolunteerGridSimulation:
         if health is True:
             health = HealthMonitor()
         self.health = health if isinstance(health, HealthMonitor) else None
+        #: streaming per-host behavioral ledger riding the trace stream
+        #: (opt-in; ``ledger=True`` builds one with default thresholds)
+        if ledger is True:
+            ledger = HostLedger()
+        self.ledger = ledger if isinstance(ledger, HostLedger) else None
         #: when set, this simulation runs one shard of a larger campaign:
         #: a contiguous release-order slice with campaign-global workunit
         #: and host numbering (see :mod:`repro.boinc.sharding`)
@@ -530,11 +543,12 @@ class VolunteerGridSimulation:
         tracer: Tracer | None = None,
         profiler: Profiler | None = None,
         health: "bool | HealthMonitor | None" = None,
+        ledger: "bool | HostLedger | None" = None,
     ) -> "VolunteerGridSimulation":
         """Build a simulation from a :class:`CampaignConfig` (no shim)."""
         return cls(
             library, cost_model, config,
-            tracer=tracer, profiler=profiler, health=health,
+            tracer=tracer, profiler=profiler, health=health, ledger=ledger,
         )
 
     # -- sizing ------------------------------------------------------------
@@ -693,23 +707,45 @@ class VolunteerGridSimulation:
                 "health monitoring needs the in-process server's event "
                 "stream; run the wire-driven campaign without health="
             )
+        if server_factory is not None and self.ledger is not None:
+            raise ValueError(
+                "the host ledger needs the in-process server's event "
+                "stream; run the wire-driven campaign without ledger= "
+                "(the scheduler service keeps its own, see GET /v1/hosts)"
+            )
         tracer = self.tracer
         restore_sink = None
-        if self.health is not None:
-            # Tee the trace stream into the monitor.  Without a
-            # user-supplied tracer, build a health-only one: events feed
-            # the monitor and are then discarded (NullSink), restricted to
-            # the lifecycle channels so the DES kernel's high-rate events
-            # skip the emit path entirely.
+        if self.health is not None or self.ledger is not None:
+            # Tee the trace stream into the observers.  Without a
+            # user-supplied tracer, build an observer-only one: events
+            # feed the monitor/ledger and are then discarded (NullSink),
+            # restricted to the lifecycle channels so the DES kernel's
+            # high-rate events skip the emit path entirely.  With a
+            # user tracer, the tee inherits its channel filter — a
+            # filter that drops "host" starves the ledger of credit and
+            # trust events (documented in repro.obs.ledger).
             if tracer is None:
-                tracer = Tracer(
-                    sink=HealthSink(self.health, NullSink()),
-                    channels=("server", "agent", "fault", "health"),
-                )
+                channels = ["server", "agent", "fault"]
+                if self.health is not None:
+                    channels.append("health")
+                if self.ledger is not None:
+                    channels.append("host")
+                sink = NullSink()
+                if self.ledger is not None:
+                    sink = LedgerSink(self.ledger, sink)
+                if self.health is not None:
+                    sink = HealthSink(self.health, sink)
+                tracer = Tracer(sink=sink, channels=tuple(channels))
             else:
                 restore_sink = tracer.sink
-                tracer.sink = HealthSink(self.health, restore_sink)
-            self.health.bind(tracer)
+                sink = restore_sink
+                if self.ledger is not None:
+                    sink = LedgerSink(self.ledger, sink)
+                if self.health is not None:
+                    sink = HealthSink(self.health, sink)
+                tracer.sink = sink
+            if self.health is not None:
+                self.health.bind(tracer)
         # The kernel's vectorized fast path is only disabled by *its own*
         # instrumentation: a tracer whose channel filter excludes ``des``
         # would drop every kernel event anyway (they are all ``des.*``),
@@ -790,15 +826,19 @@ class VolunteerGridSimulation:
         if finalize is not None:
             finalize(self.horizon_s)
 
+        t_final = (
+            server.completion_time
+            if server.completion_time is not None
+            else self.horizon_s
+        )
         health_report = None
         if self.health is not None:
-            health_report = self.health.finalize(
-                server.completion_time
-                if server.completion_time is not None
-                else self.horizon_s
-            )
-            if restore_sink is not None:
-                tracer.sink = restore_sink  # unwrap: the tracer outlives us
+            health_report = self.health.finalize(t_final)
+        ledger_report = None
+        if self.ledger is not None:
+            ledger_report = self.ledger.finalize(t_final)
+        if restore_sink is not None:
+            tracer.sink = restore_sink  # unwrap: the tracer outlives us
 
         n_batches = len(self.library)
         batch_completion = np.full(n_batches, np.nan)
@@ -815,6 +855,7 @@ class VolunteerGridSimulation:
             batch_completion_s=batch_completion,
             faults=self.faults,
             health=health_report,
+            ledger=ledger_report,
         )
 
 
@@ -828,6 +869,7 @@ def scaled_phase1(
     tracer: Tracer | None = None,
     profiler: Profiler | None = None,
     health: "bool | HealthMonitor | None" = None,
+    ledger: "bool | HostLedger | None" = None,
     **kwargs,
 ) -> VolunteerGridSimulation:
     """A phase-I-like campaign shrunk by ``scale``.
@@ -873,5 +915,5 @@ def scaled_phase1(
         config = config.with_(**kwargs)
     return VolunteerGridSimulation(
         library, cost_model, config,
-        tracer=tracer, profiler=profiler, health=health,
+        tracer=tracer, profiler=profiler, health=health, ledger=ledger,
     )

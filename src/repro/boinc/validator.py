@@ -73,6 +73,14 @@ class AdaptiveReplication:
     def is_trusted(self, host_id: int) -> bool:
         return self._streaks.get(host_id, 0) >= self.trust_after
 
+    def streak(self, host_id: int) -> int:
+        """The host's current run of consecutive valid results."""
+        return self._streaks.get(host_id, 0)
+
+    def streaks(self) -> dict[int, int]:
+        """A snapshot of every tracked host's streak (for the ledger)."""
+        return dict(self._streaks)
+
     def record_valid(self, host_id: int) -> None:
         self._streaks[host_id] = self._streaks.get(host_id, 0) + 1
 

@@ -151,6 +151,12 @@ def build_parser() -> argparse.ArgumentParser:
              "(workunit lifecycles reconstructed from the event stream)",
     )
     simu.add_argument(
+        "--ledger", action="store_true",
+        help="ride the per-host behavioral ledger on the campaign and "
+             "print the fleet report (works with --shards; "
+             "see docs/observability.md)",
+    )
+    simu.add_argument(
         "--shards", type=int, default=1, metavar="K",
         help="partition the campaign into K independently-simulated "
              "shards and merge the results deterministically "
@@ -273,6 +279,38 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument(
         "--host", type=int, default=None,
         help="restrict the timeline to one host id",
+    )
+    trace.add_argument(
+        "--campaign", metavar="NAME", default=None,
+        help="restrict the timeline to one campaign's events (matches the "
+             "campaign= stamps a multi-campaign grid adds)",
+    )
+
+    hosts = sub.add_parser(
+        "hosts", help="fleet forensics: fold a recorded JSONL trace into "
+                      "the per-host behavioral ledger and print the fleet "
+                      "report (see docs/observability.md)"
+    )
+    hosts.add_argument(
+        "path",
+        help="JSONL trace (from `simulate --trace`); lifecycle channels "
+             "(server, agent, fault, host) must have been recorded",
+    )
+    hosts.add_argument(
+        "--host", type=int, default=None,
+        help="one host's full record plus its event timeline",
+    )
+    hosts.add_argument(
+        "--format", default="table", choices=("table", "md", "json"),
+        help="fleet report format (default: terminal table)",
+    )
+    hosts.add_argument(
+        "--top", type=int, default=10,
+        help="rows in the per-host table (default 10)",
+    )
+    hosts.add_argument(
+        "--limit", type=int, default=40,
+        help="max timeline lines with --host (default 40)",
     )
 
     def campaign_flags(p: argparse.ArgumentParser) -> None:
@@ -408,6 +446,7 @@ def _cmd_simulate_multi(args: argparse.Namespace) -> int:
         ("--health", args.health),
         ("--profile", args.profile),
         ("--report", args.report),
+        ("--ledger", args.ledger),
     ):
         if used:
             print(f"error: {flag} needs the single-campaign engine; "
@@ -540,6 +579,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         tracer=tracer,
         profiler=profiler,
         health=args.health,
+        ledger=args.ledger,
     )
     try:
         result = sim.run()
@@ -577,6 +617,9 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     if args.health and result.health is not None:
         print()
         print(result.health.render())
+    if args.ledger and result.ledger is not None:
+        print()
+        print(result.ledger.render())
     if args.report:
         from .obs.postmortem import CampaignReport
 
@@ -708,14 +751,19 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     def selected():
         # Stream from disk on every pass: the trace is never resident.
         return filter_events(
-            iter_trace(path), workunit=args.workunit, host=args.host
+            iter_trace(path), workunit=args.workunit, host=args.host,
+            campaign=args.campaign,
         )
 
     summary = summarize_trace(selected())
     span = summary.sim_span_days
     selection = [
         f"{name}={value}"
-        for name, value in (("workunit", args.workunit), ("host", args.host))
+        for name, value in (
+            ("workunit", args.workunit),
+            ("host", args.host),
+            ("campaign", args.campaign),
+        )
         if value is not None
     ]
     rows = [
@@ -737,6 +785,92 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     if lines:
         print()
         print("\n".join(lines))
+    return 0
+
+
+def _cmd_hosts(args: argparse.Namespace) -> int:
+    """``hosts TRACE``: the per-host behavioral ledger from a trace."""
+    import json
+
+    from .obs import format_timeline, iter_trace
+    from .obs.ledger import HostLedger
+    from .obs.replay import filter_events
+
+    ledger = HostLedger()
+    t_end = 0.0
+    try:
+        for event in iter_trace(args.path):
+            ledger.observe(event)
+            if event.t_sim is not None:
+                t_end = event.t_sim
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    fleet = ledger.finalize(t_end)
+    if fleet.n_hosts == 0:
+        print(
+            "error: no host activity in the trace — record the lifecycle "
+            "channels (server, agent, fault, host), e.g. `simulate "
+            "--trace PATH` without a restrictive --trace-channels",
+            file=sys.stderr,
+        )
+        return 2
+
+    if args.host is not None:
+        try:
+            doc = fleet.host(args.host)
+        except KeyError as exc:
+            print(f"error: {exc.args[0]}", file=sys.stderr)
+            return 2
+        if args.format == "json":
+            print(json.dumps(doc, indent=2, sort_keys=True))
+            return 0
+        turnaround = doc["turnaround"]
+        rows = [
+            ["class", doc["class"]],
+            ["issued / results / validated",
+             f"{doc['issued']} / {doc['results']} / {doc['validated']}"],
+            ["invalid / late / timed out",
+             f"{doc['invalid']} / {doc['late']} / {doc['timed_out']}"],
+            ["crashes / corrupted / sabotaged",
+             f"{doc['crashes']} / {doc['corrupted']} / {doc['sabotaged']}"],
+            ["sabotage caught / bad validated",
+             f"{doc['sabotage_caught']} / {doc['bad_validated']}"],
+            ["sessions / uptime",
+             f"{doc['sessions']} / {doc['uptime_fraction']:.1%}"],
+            ["trust streak (now / peak)",
+             f"{doc['streak']} / {doc['peak_streak']}"
+             + (" (trusted)" if doc["trusted"] else "")],
+            ["demotions / spot checks",
+             f"{doc['demotions']} / {doc['spot_checks']}"],
+            ["cpu / credit",
+             f"{format_duration(doc['cpu_s'])} / {doc['credit']:,.0f}"],
+        ]
+        estimates = turnaround.get("estimates")
+        if estimates:
+            rows.append([
+                "turnaround p50 / p90 / p99",
+                " / ".join(
+                    format_duration(estimates[k])
+                    for k in ("p50", "p90", "p99")
+                ),
+            ])
+        print(render_table([f"host {args.host}", "value"], rows))
+        lines = format_timeline(
+            filter_events(iter_trace(args.path), host=args.host),
+            limit=args.limit,
+        )
+        if lines:
+            print()
+            print("\n".join(lines))
+        return 0
+
+    if args.format == "json":
+        print(json.dumps(fleet.as_dict(), indent=2, sort_keys=True))
+    elif args.format == "md":
+        print(fleet.render_markdown(top=args.top))
+    else:
+        print(fleet.render(top=args.top))
     return 0
 
 
@@ -993,7 +1127,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             print(f"error: cannot reach {args.url}: {exc}", file=sys.stderr)
             return 1
         latency = report.latency_quantiles()
-        print(render_table(["quantity", "value"], [
+        rows = [
             ["hosts x sweeps", f"{report.n_hosts} x {args.requests_per_host}"],
             ["connections", report.connections],
             ["requests sent", report.sent],
@@ -1004,7 +1138,20 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
             ["sustained requests/s", f"{report.requests_per_s:,.0f}"],
             ["latency p50 / p99 (ms)",
              f"{latency.get('p50', 0) * 1e3:.2f} / {latency.get('p99', 0) * 1e3:.2f}"],
-        ]))
+        ]
+        # The service's own per-op P2 sketches (service.rpc_wall_s.<op>).
+        for name in sorted(report.service_rpc_wall_s):
+            sketch = report.service_rpc_wall_s[name]
+            estimates = sketch.get("estimates")
+            if not estimates:
+                continue
+            op = name.rsplit(".", 1)[-1]
+            rows.append([
+                f"service {op} p50 / p99 (ms)",
+                f"{estimates.get('p50', 0) * 1e3:.2f} / "
+                f"{estimates.get('p99', 0) * 1e3:.2f}",
+            ])
+        print(render_table(["quantity", "value"], rows))
         return 0 if report.dropped == 0 else 1
 
     try:
@@ -1055,6 +1202,7 @@ _COMMANDS = {
     "sites": _cmd_sites,
     "results": _cmd_results,
     "trace": _cmd_trace,
+    "hosts": _cmd_hosts,
     "serve": _cmd_serve,
     "loadgen": _cmd_loadgen,
 }

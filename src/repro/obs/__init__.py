@@ -24,6 +24,10 @@ this subpackage is the shared substrate every layer records it through:
   stream during a simulation;
 * :mod:`repro.obs.quantiles` — the P² (Jain–Chlamtac) streaming
   quantile estimator behind the health sketches;
+* :mod:`repro.obs.ledger` — a per-host behavioral ledger folding the
+  same stream into availability, validity, trust-trajectory and credit
+  records per volunteer, rendered as a fleet post-mortem
+  (``repro-hcmd hosts``);
 * :mod:`repro.obs.postmortem` — campaign report rendering and
   ``trace diff`` run alignment behind the CLI.
 
@@ -42,6 +46,7 @@ examples.
 
 from .events import CHANNELS, EVENT_TYPES, TRACE_SCHEMA_VERSION, channel_of
 from .health import HealthMonitor, HealthSink, SLOConfig, SLOReport
+from .ledger import FleetReport, HostLedger, HostRecord, LedgerSink
 from .metrics import (
     Counter,
     DailySeries,
@@ -75,6 +80,10 @@ __all__ = [
     "HealthSink",
     "SLOConfig",
     "SLOReport",
+    "FleetReport",
+    "HostLedger",
+    "HostRecord",
+    "LedgerSink",
     "Counter",
     "DailySeries",
     "Gauge",

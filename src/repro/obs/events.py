@@ -79,6 +79,15 @@ EVENT_TYPES: dict[str, str] = {
                   "results still accepted (`validated`, `n_workunits`)",
     "grid.complete": "a campaign closed its last workunit "
                      "(`validated`, `failed`)",
+    # -- per-host behavioral ledger (repro.obs.ledger) ----------------------
+    "host.trusted": "a host crossed the adaptive-replication trust streak "
+                    "(`streak` = consecutive valid results)",
+    "host.demoted": "a trusted host returned an invalid result and lost its "
+                    "streak (`streak` = the streak it forfeited)",
+    "host.spot_check": "a trusted host drew a deterministic spot check: the "
+                       "quorum partner was kept despite trust (`wu`)",
+    "host.credit": "credit granted for a successfully reported result "
+                   "(`points` = claimed credit)",
     # -- scheduler RPC service (repro.service) ------------------------------
     "service.listen": "the scheduler service bound its listening socket "
                       "(`host`, `port`, `n_workunits`)",
@@ -92,7 +101,7 @@ EVENT_TYPES: dict[str, str] = {
 #: The per-subsystem channels, in taxonomy order.
 CHANNELS: tuple[str, ...] = (
     "des", "server", "agent", "fault", "docking", "telemetry", "health",
-    "grid", "service",
+    "host", "grid", "service",
 )
 
 

@@ -30,6 +30,7 @@ __all__ = [
     "DailySeries",
     "QuantileSketch",
     "MetricsRegistry",
+    "render_prometheus",
 ]
 
 
@@ -225,3 +226,72 @@ class MetricsRegistry:
     def as_dict(self) -> dict[str, Mapping[str, Any]]:
         """JSON-safe dump of every registered metric, sorted by name."""
         return {name: self._metrics[name].as_dict() for name in self.names()}
+
+
+def _prom_name(name: str) -> str:
+    """``service.rpc_wall_s.report_result`` → a legal Prometheus name."""
+    return "".join(
+        c if c.isalnum() or c == "_" else "_" for c in name
+    ).strip("_")
+
+
+def _prom_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    return f"{value:g}"
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """Render a registry in the Prometheus text exposition format (0.0.4).
+
+    Counters and gauges become single samples; histograms expose the
+    classic cumulative ``_bucket{le=...}`` / ``_sum`` / ``_count``
+    triple; P² quantile sketches become ``{quantile=...}`` summaries;
+    daily series are folded to a ``_total`` sample plus a ``days``
+    gauge (per-day vectors do not fit the flat sample model).  Dots in
+    registry names map to underscores, so ``service.rpc_wall_s.status``
+    scrapes as ``service_rpc_wall_s_status``.
+    """
+    lines: list[str] = []
+    for name in registry.names():
+        metric = registry.get(name)
+        pname = _prom_name(name)
+        if metric.help:
+            lines.append(f"# HELP {pname} {metric.help}")
+        if isinstance(metric, Counter):
+            lines.append(f"# TYPE {pname} counter")
+            lines.append(f"{pname} {_prom_value(metric.value)}")
+        elif isinstance(metric, Gauge):
+            lines.append(f"# TYPE {pname} gauge")
+            lines.append(f"{pname} {_prom_value(metric.value)}")
+        elif isinstance(metric, Histogram):
+            lines.append(f"# TYPE {pname} histogram")
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.bucket_counts):
+                cumulative += count
+                lines.append(
+                    f'{pname}_bucket{{le="{_prom_value(bound)}"}} {cumulative}'
+                )
+            lines.append(f'{pname}_bucket{{le="+Inf"}} {metric.count}')
+            lines.append(f"{pname}_sum {_prom_value(metric.sum)}")
+            lines.append(f"{pname}_count {metric.count}")
+        elif isinstance(metric, QuantileSketch):
+            lines.append(f"# TYPE {pname} summary")
+            if metric.count:
+                for q in metric.quantiles:
+                    lines.append(
+                        f'{pname}{{quantile="{q:g}"}} '
+                        f"{_prom_value(metric.estimate(q))}"
+                    )
+            lines.append(f"{pname}_sum {_prom_value(metric.sum)}")
+            lines.append(f"{pname}_count {metric.count}")
+        elif isinstance(metric, DailySeries):
+            lines.append(f"# TYPE {pname}_total gauge")
+            lines.append(f"{pname}_total {_prom_value(float(metric.values.sum()))}")
+            lines.append(f"# TYPE {pname}_days gauge")
+            lines.append(f"{pname}_days {metric.n_days}")
+    return "\n".join(lines) + "\n"

@@ -249,6 +249,31 @@ class QuantileSketch:
             for value in values:
                 observe(value)
 
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch's samples into this one.
+
+        The host ledger recombines shard-local sketches with this: the
+        other sketch's warm-up buffer is replayed in its arrival order,
+        so the merged state is identical to one sketch having observed
+        both streams back to back.  A sketch that already outgrew its
+        warm-up buffer no longer holds its samples and cannot be merged
+        exactly — that raises rather than silently degrading.
+        """
+        if other.count == 0:
+            return
+        if other._buffer is None:
+            raise ValueError(
+                f"cannot merge sketch {other.name!r}: it outgrew its "
+                f"warm-up buffer ({other.count} > {other.warmup} samples) "
+                "and no longer holds its samples"
+            )
+        if tuple(other.quantiles) != tuple(self.quantiles):
+            raise ValueError(
+                f"cannot merge sketch {other.name!r} tracking "
+                f"{other.quantiles} into one tracking {self.quantiles}"
+            )
+        self.observe_many(list(other._buffer))
+
     @property
     def exact(self) -> bool:
         """True while estimates are exact (warm-up buffer still live)."""

@@ -83,12 +83,17 @@ def filter_events(
     channel: str | None = None,
     workunit: int | None = None,
     host: int | None = None,
+    campaign: str | None = None,
 ) -> Iterator[TraceEvent]:
-    """Restrict an event stream (lazily) to a channel / workunit / host.
+    """Restrict an event stream (lazily) to a channel / workunit / host /
+    campaign.
 
-    The workunit and host filters match on the ``wu`` / ``host``
-    correlation fields; events that do not carry the field (e.g. DES
-    kernel events under a ``workunit`` filter) are dropped.
+    The workunit, host and campaign filters match on the ``wu`` /
+    ``host`` / ``campaign`` correlation fields; events that do not carry
+    the field (e.g. DES kernel events under a ``workunit`` filter, or
+    single-campaign traces under a ``campaign`` filter) are dropped.
+    The ``campaign`` stamp is added by the multi-campaign grid
+    (:mod:`repro.multi`).
     """
     for event in events:
         if channel is not None and event.channel != channel:
@@ -96,6 +101,8 @@ def filter_events(
         if workunit is not None and event.fields.get("wu") != workunit:
             continue
         if host is not None and event.fields.get("host") != host:
+            continue
+        if campaign is not None and event.fields.get("campaign") != campaign:
             continue
         yield event
 

@@ -43,7 +43,9 @@ from ..boinc.server import GridServer
 from ..boinc.simulator import Telemetry
 from ..faults import ResultQuality, ServerUnavailable
 from ..grid.des import Simulator
-from ..obs import MetricsRegistry, Tracer
+from ..obs import HostLedger, LedgerSink, MetricsRegistry, Tracer
+from ..obs.health import NullSink
+from ..obs.metrics import render_prometheus
 from .protocol import (
     ENDPOINTS,
     WIRE_PROTOCOL_VERSION,
@@ -58,13 +60,18 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 __all__ = ["ServiceConfig", "SchedulerService", "ServiceHandle", "serve_in_thread"]
 
 #: RPC op keys, used for route dispatch and latency sketch names.
-_OPS = ("discover", "status", "heartbeat", "request_work", "report_result", "finalize")
+_OPS = (
+    "discover", "status", "hosts", "metrics",
+    "heartbeat", "request_work", "report_result", "finalize",
+)
 
 #: (method, path) -> op key.  Kept in lockstep with
 #: :data:`repro.service.protocol.ENDPOINTS` (tested).
 ROUTES: dict[tuple[str, str], str] = {
     ("GET", "/"): "discover",
     ("GET", "/v1/status"): "status",
+    ("GET", "/v1/hosts"): "hosts",
+    ("GET", "/v1/metrics"): "metrics",
     ("POST", "/v1/heartbeat"): "heartbeat",
     ("POST", "/v1/request-work"): "request_work",
     ("POST", "/v1/report-result"): "report_result",
@@ -139,6 +146,23 @@ class SchedulerService:
         self.sim = Simulator(tracer=sim_tracer)
         self.horizon_s = sim_model.horizon_s
         self.telemetry = Telemetry(sim_model.horizon_s, tracer=tracer)
+        # Per-host behavioral ledger behind GET /v1/hosts, fed by a tee on
+        # the server's event stream (same pattern as the in-process run).
+        # With a caller-supplied tracer the tee rides its sink (a channel
+        # filter excluding "server"/"host" starves the ledger — documented
+        # in docs/observability.md); without one, a private tracer feeds
+        # the ledger and nothing else.
+        self.ledger = HostLedger()
+        self._ledger_restore_sink = None
+        if tracer is not None:
+            self._ledger_restore_sink = tracer.sink
+            tracer.sink = LedgerSink(self.ledger, tracer.sink)
+            server_tracer = tracer
+        else:
+            server_tracer = Tracer(
+                sink=LedgerSink(self.ledger, NullSink()),
+                channels=("server", "host"),
+            )
         workunits = sim_model.materialize_workunits()
         batch_bytes = sim_model.batch_result_bytes()
         self.server = GridServer(
@@ -149,7 +173,7 @@ class SchedulerService:
             on_batch_complete=lambda batch, t: self.telemetry.record_shipment(
                 t, batch_bytes[batch]
             ),
-            tracer=tracer,
+            tracer=server_tracer,
             id_base=sim_model.wu_id_base,
         )
         #: the served campaign's name; scopes every assignment on the
@@ -244,6 +268,10 @@ class SchedulerService:
                 await self._writer_task
             except asyncio.CancelledError:
                 pass
+        if self._ledger_restore_sink is not None and self.tracer is not None:
+            # Unwrap the ledger tee: the caller's tracer outlives us.
+            self.tracer.sink = self._ledger_restore_sink
+            self._ledger_restore_sink = None
 
     # -- clock --------------------------------------------------------------
 
@@ -397,6 +425,18 @@ class SchedulerService:
         )
         return payload
 
+    def _hosts_payload(self) -> dict[str, Any]:
+        """The fleet snapshot behind ``GET /v1/hosts`` (ledger as JSON)."""
+        fleet = self.ledger.finalize(self.sim.now)
+        payload = fleet.as_dict()
+        payload["campaign"] = self.campaign_name
+        payload["now_s"] = self.sim.now
+        return payload
+
+    def _metrics_text(self) -> str:
+        """``GET /v1/metrics``: the registry in Prometheus text format."""
+        return render_prometheus(self.metrics)
+
     def _discover_payload(self) -> dict[str, Any]:
         return {
             "service": "repro-scheduler",
@@ -448,6 +488,10 @@ class SchedulerService:
             return 200, self._discover_payload(), {}
         if op == "status":
             return 200, self._status_payload(), {}
+        if op == "hosts":
+            return 200, self._hosts_payload(), {}
+        if op == "metrics":
+            return 200, self._metrics_text(), {}
         return 200, self._heartbeat_payload(body), {}
 
     def _refuse_wire(self, op: str, reason: str) -> None:
@@ -545,17 +589,23 @@ class SchedulerService:
     async def _write_response(
         writer: asyncio.StreamWriter,
         status: int,
-        payload: dict[str, Any],
+        payload: "dict[str, Any] | str",
         extra_headers: dict[str, str],
         keep_alive: bool,
     ) -> None:
         reasons = {200: "OK", 400: "Bad Request", 404: "Not Found",
                    410: "Gone", 500: "Internal Server Error",
                    503: "Service Unavailable"}
-        body = json.dumps(payload, separators=(",", ":")).encode()
+        if isinstance(payload, str):
+            # Text exposition (GET /v1/metrics); everything else is JSON.
+            body = payload.encode()
+            content_type = "text/plain; version=0.0.4; charset=utf-8"
+        else:
+            body = json.dumps(payload, separators=(",", ":")).encode()
+            content_type = "application/json"
         head = [
             f"HTTP/1.1 {status} {reasons.get(status, 'Unknown')}",
-            "Content-Type: application/json",
+            f"Content-Type: {content_type}",
             f"Content-Length: {len(body)}",
             f"Connection: {'keep-alive' if keep_alive else 'close'}",
         ]

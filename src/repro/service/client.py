@@ -80,9 +80,9 @@ class SchedulerClient:
 
     # -- transport ----------------------------------------------------------
 
-    def _call(
+    def _call_raw(
         self, method: str, path: str, body: dict[str, Any] | None = None
-    ) -> tuple[int, dict[str, Any]]:
+    ) -> tuple[int, bytes]:
         payload = json.dumps(body).encode() if body is not None else None
         headers = {"Content-Type": "application/json"} if payload else {}
         for attempt in (0, 1):
@@ -100,7 +100,13 @@ class SchedulerClient:
                 self.close()
                 if attempt:
                     raise
-        return response.status, json.loads(raw) if raw else {}
+        return response.status, raw
+
+    def _call(
+        self, method: str, path: str, body: dict[str, Any] | None = None
+    ) -> tuple[int, dict[str, Any]]:
+        status, raw = self._call_raw(method, path, body)
+        return status, json.loads(raw) if raw else {}
 
     def _checked(self, method: str, path: str, body: dict[str, Any] | None = None):
         status, payload = self._call(method, path, body)
@@ -124,6 +130,17 @@ class SchedulerClient:
 
     def status(self) -> dict[str, Any]:
         return self._checked("GET", "/v1/status")
+
+    def hosts(self) -> dict[str, Any]:
+        """``GET /v1/hosts`` — the fleet snapshot (ledger as JSON)."""
+        return self._checked("GET", "/v1/hosts")
+
+    def metrics_text(self) -> str:
+        """``GET /v1/metrics`` — the Prometheus text page, verbatim."""
+        status, raw = self._call_raw("GET", "/v1/metrics")
+        if status >= 400:
+            raise ServiceError(status, {"detail": raw.decode(errors="replace")})
+        return raw.decode()
 
     def heartbeat(self, host: int, t: float | None = None) -> dict[str, Any]:
         body: dict[str, Any] = {"host": host}

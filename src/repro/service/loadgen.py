@@ -84,6 +84,9 @@ class StormReport:
     reports: int = 0
     wall_s: float = 0.0
     latencies_s: list[float] = field(default_factory=list, repr=False)
+    #: the service's own per-op ``service.rpc_wall_s.<op>`` P² sketches
+    #: (from ``GET /v1/status`` after the storm), keyed by sketch name
+    service_rpc_wall_s: dict[str, Any] = field(default_factory=dict)
 
     @property
     def dropped(self) -> int:
@@ -124,6 +127,7 @@ class StormReport:
             "wall_s": self.wall_s,
             "requests_per_s": self.requests_per_s,
             "latency_s": self.latency_quantiles(),
+            "service_rpc_wall_s": dict(self.service_rpc_wall_s),
         }
 
 
@@ -274,9 +278,17 @@ def storm(
     means the service answered every single request — refusals included.
     """
     client = SchedulerClient.from_url(url)
-    return asyncio.run(
+    report = asyncio.run(
         _storm(
             client.host, client.port, n_hosts, connections,
             requests_per_host, t_step_s, report_results,
         )
     )
+    try:
+        # The service's own view of the storm: per-op wall-time sketches.
+        report.service_rpc_wall_s = client.status().get("rpc_wall_s", {})
+    except OSError:  # pragma: no cover - service died mid-teardown
+        pass
+    finally:
+        client.close()
+    return report

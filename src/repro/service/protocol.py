@@ -42,6 +42,10 @@ ENDPOINTS: tuple[tuple[str, str, str], ...] = (
     ("GET", "/", "protocol discovery: version, endpoint table, campaign identity"),
     ("GET", "/v1/status", "campaign snapshot: validation stats, queue depth, "
                           "refusal counters, RPC latency quantiles"),
+    ("GET", "/v1/hosts", "fleet snapshot: the per-host behavioral ledger "
+                         "(counts, classes, trust trajectory) as JSON"),
+    ("GET", "/v1/metrics", "Prometheus text exposition of the service "
+                           "metrics registry (RPC latency sketches included)"),
     ("POST", "/v1/request-work", "hand one workunit instance to a host "
                                  "(may 503-refuse with Retry-After)"),
     ("POST", "/v1/report-result", "report a finished instance by token "

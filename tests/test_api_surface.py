@@ -104,7 +104,7 @@ def test_scaled_phase1_signature():
     sig = inspect.signature(repro.scaled_phase1)
     assert list(sig.parameters) == [
         "scale", "n_proteins", "seed", "target_hours", "horizon_weeks",
-        "config", "tracer", "profiler", "health", "kwargs",
+        "config", "tracer", "profiler", "health", "ledger", "kwargs",
     ]
     assert sig.parameters["scale"].default == 200.0
     assert sig.parameters["n_proteins"].default == 24

@@ -111,6 +111,30 @@ def test_service_doc_endpoint_table_matches_registered_routes():
     )
 
 
+def test_fleet_endpoints_registered_and_documented():
+    """The forensics endpoints stay pinned: ENDPOINTS ⇆ ROUTES ⇆ docs."""
+    declared = {(m, p) for m, p, _ in ENDPOINTS}
+    documented = set(documented_endpoints())
+    for route in (("GET", "/v1/hosts"), ("GET", "/v1/metrics")):
+        assert route in declared, f"{route} missing from ENDPOINTS"
+        assert route in ROUTES, f"{route} missing from registered ROUTES"
+        assert route in documented, f"{route} missing from docs/service.md"
+
+
+def test_host_ledger_event_types_pinned():
+    """The ledger's trust-trajectory events stay registered, emitted on
+    the ``host`` channel, and backtick-documented in the taxonomy."""
+    expected = {"host.trusted", "host.demoted", "host.spot_check", "host.credit"}
+    assert expected <= set(EVENT_TYPES)
+    assert {channel_of(etype) for etype in expected} == {"host"}
+    assert "host" in CHANNELS
+    emitted = emitted_event_types()
+    text = OBS_DOC.read_text(encoding="utf-8")
+    for etype in sorted(expected):
+        assert etype in emitted, f"{etype} has no literal emit site"
+        assert f"`{etype}`" in text, f"{etype} undocumented in the taxonomy"
+
+
 def test_service_doc_states_wire_protocol_version():
     text = SERVICE_DOC.read_text(encoding="utf-8")
     assert f"**Wire protocol version:** {WIRE_PROTOCOL_VERSION}" in text, (

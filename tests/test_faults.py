@@ -147,15 +147,17 @@ class TestEmptyPlanBitIdentity:
 
     # sha256 over (etype, t_sim, sorted fields) of every trace event.
     # Re-pinned when the span correlation fields (copy/receptor/ligand/host)
-    # joined the event payloads; the completion times are the original
-    # pre-fault-subsystem values — the trajectory itself never moved.
+    # joined the event payloads, and again when the host-ledger events
+    # (host.credit on the unfiltered trace) joined the stream; the
+    # completion times are the original pre-fault-subsystem values — the
+    # trajectory itself never moved.
     GOLDEN = {
         (300, 10, None): (
-            "6bcc25c8ddabbad2804ef94605e67bc82b4bafc6a39996305e1934e23575263e",
+            "79fcb83764ddb813c707cef2489b89969daac37b09f4fcf26b017ccbf7df0b4b",
             10695940.733569192,
         ),
         (500, 8, 7): (
-            "101808a9e578059d177aadd0694856922e4a158071493780e419243387888dfa",
+            "81d78900000eff0afc897000fbe2853259978af6a5a71aab294796a79035b871",
             8987859.456949988,
         ),
     }

@@ -400,6 +400,20 @@ class TestReplay:
         )
         assert len(only) == 1 and only[0].fields == {"wu": 1, "host": 2}
 
+    def test_filter_by_campaign_drops_unstamped_events(self):
+        from repro.obs.replay import filter_events
+
+        tracer = Tracer()
+        tracer.emit("server.issue", t_sim=0.0, wu=1, host=2, campaign="hcmd")
+        tracer.emit("server.issue", t_sim=1.0, wu=9, host=2, campaign="other")
+        tracer.emit("agent.fetch", t_sim=1.0, host=2, wu=1)  # host-level: no stamp
+        only = list(filter_events(tracer.sink.events, campaign="hcmd"))
+        assert [e.fields["wu"] for e in only] == [1]
+        # composes with the other selectors
+        assert not list(
+            filter_events(tracer.sink.events, campaign="hcmd", workunit=9)
+        )
+
     def test_timeline_streams_with_bounded_memory(self):
         """format_timeline accepts a one-shot generator and keeps only
         head + tail lines resident."""

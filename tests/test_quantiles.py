@@ -1,0 +1,155 @@
+"""Property tests for repro.obs.quantiles: small-n exactness and merging.
+
+The sketch's accuracy contract has two regimes the campaign-trace tests
+in ``tests/test_obs_spans.py`` only sample: **exactness** while the
+warm-up buffer is live (including the n < 5 initialization window of the
+raw P² estimators, and the hand-over when the buffer is outgrown), and
+**merge equivalence** — the property the host ledger's shard-mergeable
+turnaround sketches rest on: merging shard-local sketches must be
+state-identical to one sketch having folded the shards back to back.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.quantiles import P2Quantile, QuantileSketch
+
+QUANTILES = (0.5, 0.9, 0.99)
+
+finite = st.floats(
+    min_value=-1e6, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+sample_lists = st.lists(finite, min_size=1, max_size=64)
+
+
+class TestSmallNExactness:
+    @given(sample_lists)
+    @settings(max_examples=200)
+    def test_warmup_estimates_match_numpy_quantile(self, values):
+        """While the warm-up buffer is live, estimates are exact — the
+        same linear interpolation as ``numpy.quantile``."""
+        sketch = QuantileSketch("t", quantiles=QUANTILES)
+        for value in values:
+            sketch.observe(value)
+        assert sketch.exact
+        for q in QUANTILES:
+            expected = float(np.quantile(np.asarray(values, dtype=float), q))
+            assert sketch.estimate(q) == pytest.approx(
+                expected, rel=1e-12, abs=1e-9
+            )
+
+    @given(st.lists(finite, min_size=1, max_size=4))
+    @settings(max_examples=100)
+    def test_below_five_samples_even_without_buffer(self, values):
+        """n < 5: the raw P² estimator is still in its initialization
+        window and reads the sorted intake exactly (nearest rank)."""
+        for q in QUANTILES:
+            est = P2Quantile(q)
+            for value in values:
+                est.observe(value)
+            ordered = sorted(float(v) for v in values)
+            rank = max(0, min(len(ordered) - 1, round(q * (len(ordered) - 1))))
+            assert est.value == ordered[rank]
+
+    @given(st.lists(finite, min_size=9, max_size=48))
+    @settings(max_examples=100)
+    def test_handover_replays_in_arrival_order(self, values):
+        """Outgrowing the warm-up buffer hands over to P² markers fed in
+        arrival order — bit-identical to never having buffered at all."""
+        sketch = QuantileSketch("t", quantiles=QUANTILES, warmup=8)
+        for value in values:
+            sketch.observe(value)
+        assert not sketch.exact
+        for q in QUANTILES:
+            reference = P2Quantile(q)
+            for value in values:
+                reference.observe(value)
+            assert sketch.estimate(q) == reference.value
+
+    def test_observe_many_is_state_identical_to_observe(self):
+        rng = np.random.default_rng(7)
+        values = rng.lognormal(1.0, 1.5, size=300).tolist()
+        batched = QuantileSketch("b", quantiles=QUANTILES, warmup=64)
+        single = QuantileSketch("s", quantiles=QUANTILES, warmup=64)
+        for lo in range(0, len(values), 17):
+            batched.observe_many(values[lo : lo + 17])
+        for value in values:
+            single.observe(value)
+        assert batched.count == single.count
+        assert (batched.min, batched.max) == (single.min, single.max)
+        # The running sum groups additions per batch — identical up to
+        # floating-point association; the marker state is bit-identical.
+        assert batched.sum == pytest.approx(single.sum, rel=1e-12)
+        for q in QUANTILES:
+            assert batched.estimate(q) == single.estimate(q)
+
+
+class TestShardMerge:
+    """The equivalence the host ledger's mergeable sketches rely on."""
+
+    @given(st.lists(finite, min_size=0, max_size=200), st.integers(1, 5))
+    @settings(max_examples=100)
+    def test_merge_equals_back_to_back_folding(self, values, k):
+        chunks = [list(chunk) for chunk in np.array_split(values, k)]
+        shards = []
+        for i, chunk in enumerate(chunks):
+            shard = QuantileSketch(f"shard{i}", quantiles=QUANTILES)
+            shard.observe_many(chunk)
+            shards.append(shard)
+
+        merged = QuantileSketch("merged", quantiles=QUANTILES)
+        reference = QuantileSketch("reference", quantiles=QUANTILES)
+        for shard, chunk in zip(shards, chunks):
+            merged.merge(shard)
+            reference.observe_many(chunk)
+
+        assert merged.count == len(values)
+        assert merged.as_dict() == reference.as_dict()
+        if values:
+            for q in QUANTILES:
+                assert merged.estimate(q) == reference.estimate(q)
+
+    def test_merge_order_independent_while_exact(self):
+        rng = np.random.default_rng(11)
+        chunks = [rng.exponential(5.0, size=40).tolist() for _ in range(3)]
+        forward = QuantileSketch("f", quantiles=QUANTILES)
+        backward = QuantileSketch("b", quantiles=QUANTILES)
+        for chunk in chunks:
+            shard = QuantileSketch("s", quantiles=QUANTILES)
+            shard.observe_many(chunk)
+            forward.merge(shard)
+        for chunk in reversed(chunks):
+            shard = QuantileSketch("s", quantiles=QUANTILES)
+            shard.observe_many(chunk)
+            backward.merge(shard)
+        # Both are still exact, so estimates agree regardless of arrival
+        # order (the buffers hold identical multisets).
+        assert forward.exact and backward.exact
+        for q in QUANTILES:
+            assert forward.estimate(q) == backward.estimate(q)
+
+    def test_merging_an_empty_sketch_is_a_no_op(self):
+        target = QuantileSketch("t", quantiles=QUANTILES)
+        target.observe_many([1.0, 2.0, 3.0])
+        before = target.as_dict()
+        target.merge(QuantileSketch("empty", quantiles=QUANTILES))
+        assert target.as_dict() == before
+
+    def test_merge_refuses_an_outgrown_source(self):
+        source = QuantileSketch("s", quantiles=QUANTILES, warmup=4)
+        source.observe_many([1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+        assert not source.exact
+        target = QuantileSketch("t", quantiles=QUANTILES)
+        with pytest.raises(ValueError, match="outgrew its\\s+warm-up buffer"):
+            target.merge(source)
+
+    def test_merge_refuses_mismatched_quantiles(self):
+        source = QuantileSketch("s", quantiles=(0.5,))
+        source.observe(1.0)
+        target = QuantileSketch("t", quantiles=QUANTILES)
+        with pytest.raises(ValueError, match="tracking"):
+            target.merge(source)

@@ -270,6 +270,11 @@ class TestOverload:
         # ...and as service.refuse events
         assert tracer.counts["service.refuse"] == report.refused["overload"]
         assert tracer.counts["service.listen"] == 1
+        # the storm carries home the service's own per-op latency sketches
+        sketches = report.service_rpc_wall_s
+        assert sketches["request_work"]["count"] > 0
+        assert "estimates" in sketches["request_work"]
+        assert report.as_dict()["service_rpc_wall_s"] == sketches
 
     def test_slow_writer_queue_depth_stays_bounded(self):
         handle = serve_in_thread(

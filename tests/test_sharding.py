@@ -248,12 +248,18 @@ class TestFaultMerge:
 
 
 class TestIncompatibleRiders:
+    """Fail-fast errors must name the unsupported artifact and point the
+    user back at the monolithic path (drop ``--shards`` / ``n_shards=1``)."""
+
     def test_health_monitor_rejected(self):
         config = CampaignConfig(shards=ShardPlan(n_shards=2))
         sim = scaled_phase1(
             scale=700, n_proteins=6, seed=42, config=config, health=True
         )
-        with pytest.raises(ValueError, match="health"):
+        with pytest.raises(
+            ValueError,
+            match=r"health monitor .*cannot be recombined.*n_shards=1",
+        ):
             sim.run()
 
     def test_profiler_rejected(self):
@@ -264,7 +270,10 @@ class TestIncompatibleRiders:
             scale=700, n_proteins=6, seed=42, config=config,
             profiler=Profiler(),
         )
-        with pytest.raises(ValueError, match="profil"):
+        with pytest.raises(
+            ValueError,
+            match=r"profiler .*across[\s\S]*shard processes.*n_shards=1",
+        ):
             sim.run()
 
     def test_ring_sink_rejected(self):
@@ -275,7 +284,10 @@ class TestIncompatibleRiders:
         sim = scaled_phase1(
             scale=700, n_proteins=6, seed=42, config=config, tracer=tracer
         )
-        with pytest.raises(ValueError, match="JSONL"):
+        with pytest.raises(
+            ValueError,
+            match=r"ring trace .*JSONL path[\s\S]*n_shards=1",
+        ):
             sim.run()
 
 
